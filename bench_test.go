@@ -1,0 +1,523 @@
+// Package bench holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (Section 5). Each
+// benchmark prints or reports the same rows/series the paper does;
+// accuracies are attached as custom metrics so `go test -bench` output
+// doubles as the experiment record.
+//
+// The quick dataset (~400 authors, 120 documents) keeps a full sweep
+// under a minute; run `go run ./cmd/shine bench -exp all` for the
+// full-scale (2,000 authors, 700 documents) version of every
+// experiment.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"shine/internal/annotate"
+	"shine/internal/baselines"
+	"shine/internal/bibload"
+	"shine/internal/corpus"
+	"shine/internal/eval"
+	"shine/internal/experiments"
+	"shine/internal/hin"
+	"shine/internal/metapath"
+	"shine/internal/pagerank"
+	"shine/internal/server"
+	"shine/internal/shine"
+	"shine/internal/synth"
+)
+
+var (
+	envOnce sync.Once
+	env     *experiments.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() { env, envErr = experiments.QuickEnv() })
+	if envErr != nil {
+		b.Fatalf("building benchmark dataset: %v", envErr)
+	}
+	return env
+}
+
+// BenchmarkTable2Popularity regenerates Table 2: PageRank-based
+// popularity of every candidate of the most ambiguous name. The
+// dominant candidate's popularity share is reported as a metric.
+func BenchmarkTable2Popularity(b *testing.B) {
+	e := benchEnv(b)
+	var top float64
+	for i := 0; i < b.N; i++ {
+		r, err := e.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		top = r.Rows[0].Popularity
+	}
+	b.ReportMetric(top, "top-popularity")
+}
+
+// BenchmarkTable3Enumeration regenerates Table 3's path set by BFS
+// over the DBLP schema and verifies all ten paper paths are found.
+func BenchmarkTable3Enumeration(b *testing.B) {
+	d := hin.NewDBLPSchema()
+	want := metapath.DBLPPaperPaths(d)
+	var found int
+	for i := 0; i < b.N; i++ {
+		all, err := metapath.Enumerate(d.Schema, d.Author, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys := make(map[string]bool, len(all))
+		for _, p := range all {
+			keys[p.Key()] = true
+		}
+		found = 0
+		for _, p := range want {
+			if keys[p.Key()] {
+				found++
+			}
+		}
+	}
+	if found != 10 {
+		b.Fatalf("enumeration found %d of 10 Table 3 paths", found)
+	}
+}
+
+// BenchmarkTable4VSim regenerates Table 4: VSim accuracy per object
+// type subset. The all-type accuracy is reported as a metric.
+func BenchmarkTable4VSim(b *testing.B) {
+	e := benchEnv(b)
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		r, err := e.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = r.Rows[len(r.Rows)-1].Accuracy
+	}
+	b.ReportMetric(acc, "vsim-all-accuracy")
+}
+
+// BenchmarkTable5Approaches regenerates Table 5: POP, VSim and the
+// four SHINE configurations, reporting each accuracy as a metric.
+func BenchmarkTable5Approaches(b *testing.B) {
+	e := benchEnv(b)
+	var rows []experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		r, err := e.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r.Rows
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.Accuracy, row.Approach+"-acc")
+	}
+}
+
+// BenchmarkFigure3ObjectModel regenerates Figure 3: the
+// entity-specific object model over one document's objects for the
+// three most popular candidates.
+func BenchmarkFigure3ObjectModel(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4aScalability regenerates Figure 4(a): per-iteration
+// EM and gradient descent time at increasing mention-set sizes. One
+// sub-benchmark per size; the per-EM-iteration time is the metric —
+// the paper's finding is that it grows linearly with the size.
+func BenchmarkFigure4aScalability(b *testing.B) {
+	e := benchEnv(b)
+	for _, n := range []int{30, 60, 90, 120} {
+		n := n
+		b.Run(fmt.Sprintf("mentions=%d", n), func(b *testing.B) {
+			sub, err := e.DS.Corpus.Subset(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var emIter, gdIter float64
+			for i := 0; i < b.N; i++ {
+				m, err := shine.New(e.DS.Data.Graph, e.DS.Data.Schema.Author,
+					e.Paths10, e.DS.Corpus, shine.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats, err := m.Learn(sub)
+				if err != nil {
+					b.Fatal(err)
+				}
+				emIter = float64(stats.EMIterTime.Microseconds())
+				gdIter = float64(stats.GDIterTime.Microseconds())
+			}
+			b.ReportMetric(emIter, "µs/EM-iter")
+			b.ReportMetric(gdIter, "µs/GD-iter")
+		})
+	}
+}
+
+// BenchmarkFigure4bAccuracy regenerates Figure 4(b): SHINEall
+// accuracy at each mention-set size (expected: roughly flat).
+func BenchmarkFigure4bAccuracy(b *testing.B) {
+	e := benchEnv(b)
+	sizes := []int{30, 60, 90, 120}
+	var pts []experiments.Figure4Point
+	for i := 0; i < b.N; i++ {
+		r, err := e.Figure4(sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = r.Points
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.Accuracy, fmt.Sprintf("acc@%d", p.Mentions))
+	}
+}
+
+// BenchmarkFigure5ThetaSweep regenerates Figure 5 (Section 5.4):
+// accuracy as θ varies from 0.1 to 0.9.
+func BenchmarkFigure5ThetaSweep(b *testing.B) {
+	e := benchEnv(b)
+	var pts []experiments.Figure5Point
+	for i := 0; i < b.N; i++ {
+		p, err := e.Figure5([]float64{0.1, 0.3, 0.5, 0.7, 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = p
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.Accuracy, fmt.Sprintf("acc@theta=%.1f", p.Theta))
+	}
+}
+
+// BenchmarkFigure6WeightLearning regenerates Figure 6 (Section 5.5):
+// the full EM learning run producing the meta-path weight vector. The
+// weight mass on length-2 paths is reported (the paper finds short
+// discriminative paths dominate).
+func BenchmarkFigure6WeightLearning(b *testing.B) {
+	e := benchEnv(b)
+	var short float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := e.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		short = 0
+		for _, r := range rows {
+			if len(r.Path) == len("A-P-A") {
+				short += r.Weight
+			}
+		}
+	}
+	b.ReportMetric(short, "length2-weight-mass")
+}
+
+// BenchmarkAblationLambda sweeps the PageRank damping λ.
+func BenchmarkAblationLambda(b *testing.B) {
+	e := benchEnv(b)
+	var pts []experiments.LambdaPoint
+	for i := 0; i < b.N; i++ {
+		p, err := e.LambdaSweep([]float64{0.2, 0.8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = p
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.Accuracy, fmt.Sprintf("acc@lambda=%.1f", p.Lambda))
+	}
+}
+
+// BenchmarkAblationPruning measures the accuracy/cost trade-off of
+// top-k walk pruning.
+func BenchmarkAblationPruning(b *testing.B) {
+	e := benchEnv(b)
+	var pts []experiments.PruningPoint
+	for i := 0; i < b.N; i++ {
+		p, err := e.PruningSweep([]int{0, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = p
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.Accuracy, fmt.Sprintf("acc@k=%d", p.MaxSupport))
+	}
+}
+
+// BenchmarkAblationSGD contrasts full-batch and stochastic M-steps.
+func BenchmarkAblationSGD(b *testing.B) {
+	e := benchEnv(b)
+	var cmp *experiments.SGDComparison
+	for i := 0; i < b.N; i++ {
+		c, err := e.CompareSGD(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmp = c
+	}
+	b.ReportMetric(cmp.FullAccuracy, "full-acc")
+	b.ReportMetric(cmp.SGDAccuracy, "sgd-acc")
+}
+
+// ----------------------------------------------------------- micro level
+
+// BenchmarkPageRank measures the offline popularity computation over
+// the benchmark network.
+func BenchmarkPageRank(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := pagerank.Compute(e.DS.Data.Graph, pagerank.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetaPathWalk measures a single length-4 constrained random
+// walk without caching.
+func BenchmarkMetaPathWalk(b *testing.B) {
+	e := benchEnv(b)
+	d := e.DS.Data.Schema
+	w := metapath.NewWalker(e.DS.Data.Graph, 0)
+	p := metapath.MustParse(d.Schema, "A-P-A-P-V")
+	entity := e.DS.Data.Groups[0].Members[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Walk(entity, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLinkSingleMention measures linking one mention with a
+// ready model (warm walk cache), the online serving cost.
+func BenchmarkLinkSingleMention(b *testing.B) {
+	e := benchEnv(b)
+	m, err := shine.New(e.DS.Data.Graph, e.DS.Data.Schema.Author, e.Paths10,
+		e.DS.Corpus, shine.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := e.DS.Corpus.Docs[0]
+	if _, err := m.Link(doc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Link(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngest measures the text preprocessing pipeline on one
+// generated document.
+func BenchmarkIngest(b *testing.B) {
+	e := benchEnv(b)
+	rd := e.DS.RawDocs[0]
+	var doc *corpus.Document
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc = e.DS.Ingester.Ingest(rd.ID, rd.Mention, rd.Gold, rd.Text)
+	}
+	if doc.TotalCount() == 0 {
+		b.Fatal("ingested document empty")
+	}
+}
+
+// BenchmarkDatasetGeneration measures full synthetic dataset
+// construction (network + documents + ingestion).
+func BenchmarkDatasetGeneration(b *testing.B) {
+	net := synth.DefaultDBLPConfig()
+	net.RegularAuthors = 200
+	net.AmbiguousGroups = 5
+	net.Topics = 4
+	doc := synth.DefaultDocConfig()
+	doc.NumDocs = 50
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.BuildDataset(net, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateVSim measures a full VSim evaluation pass, the
+// baseline's end-to-end cost.
+func BenchmarkEvaluateVSim(b *testing.B) {
+	e := benchEnv(b)
+	d := e.DS.Data.Schema
+	for i := 0; i < b.N; i++ {
+		vs, err := baselines.NewVSim(e.DS.Data.Graph, d.Author, d.Author, d.Venue, d.Term, d.Year)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eval.Evaluate(vs, e.DS.Corpus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnnotate measures mention detection plus linking over one
+// generated page.
+func BenchmarkAnnotate(b *testing.B) {
+	e := benchEnv(b)
+	m, err := shine.New(e.DS.Data.Graph, e.DS.Data.Schema.Author, e.Paths10,
+		e.DS.Corpus, shine.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := annotate.New(m, corpus.DBLPIngestConfig(e.DS.Data.Schema), annotate.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := e.DS.RawDocs[0].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Annotate("bench", text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerLink measures one /v1/link request through the full
+// HTTP handler stack.
+func BenchmarkServerLink(b *testing.B) {
+	e := benchEnv(b)
+	m, err := shine.New(e.DS.Data.Graph, e.DS.Data.Schema.Author, e.Paths10,
+		e.DS.Corpus, shine.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(m, corpus.DBLPIngestConfig(e.DS.Data.Schema), server.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd := e.DS.RawDocs[0]
+	body, err := json.Marshal(map[string]string{"mention": rd.Mention, "text": rd.Text})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/link", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkBibloadAndDisambig measures the preprocessing chain over
+// an exported network: export -> disambiguate -> reload.
+func BenchmarkBibloadAndDisambig(b *testing.B) {
+	e := benchEnv(b)
+	var buf bytes.Buffer
+	if err := bibload.Export(&buf, e.DS.Data.Schema, e.DS.Data.Graph); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := bibload.Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExplain measures the per-decision evidence breakdown.
+func BenchmarkExplain(b *testing.B) {
+	e := benchEnv(b)
+	m, err := shine.New(e.DS.Data.Graph, e.DS.Data.Schema.Author, e.Paths10,
+		e.DS.Corpus, shine.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := e.DS.Corpus.Docs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Explain(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphSerialization measures WriteTo+ReadGraph round trips.
+func BenchmarkGraphSerialization(b *testing.B) {
+	e := benchEnv(b)
+	g := e.DS.Data.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := hin.ReadGraph(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageRankScale measures PageRank cost as the network grows;
+// the per-size ns/op should grow roughly linearly with the link count
+// (power iteration is O(|Z|) per pass).
+func BenchmarkPageRankScale(b *testing.B) {
+	for _, authors := range []int{250, 500, 1000, 2000} {
+		authors := authors
+		b.Run(fmt.Sprintf("authors=%d", authors), func(b *testing.B) {
+			cfg := synth.DefaultDBLPConfig()
+			cfg.RegularAuthors = authors
+			cfg.AmbiguousGroups = 5
+			data, err := synth.GenerateDBLP(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(data.Graph.NumLinks()), "links")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pagerank.Compute(data.Graph, pagerank.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWalkScale measures a length-4 constrained walk as the
+// author's neighbourhood grows with the network.
+func BenchmarkWalkScale(b *testing.B) {
+	for _, authors := range []int{250, 1000} {
+		authors := authors
+		b.Run(fmt.Sprintf("authors=%d", authors), func(b *testing.B) {
+			cfg := synth.DefaultDBLPConfig()
+			cfg.RegularAuthors = authors
+			cfg.AmbiguousGroups = 5
+			data, err := synth.GenerateDBLP(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := metapath.NewWalker(data.Graph, 0)
+			p := metapath.MustParse(data.Schema.Schema, "A-P-A-P-T")
+			entity := data.Groups[0].Members[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Walk(entity, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

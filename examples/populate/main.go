@@ -1,0 +1,141 @@
+// Populate: the paper's motivating application (Section 1) and its
+// Section 4 extension worked end to end.
+//
+//  1. Link an ambiguous mention against the network.
+//  2. Populate an extracted affiliation fact ("Wei Wang" —
+//     isAffiliatedWith -> "UCLA") into the network under the linked
+//     entity, creating the organization type on the fly.
+//  3. Add the new meta-path A-ORG to the model's path set, exactly as
+//     Section 4 describes, and observe the enriched network resolving
+//     a document that was previously ambiguous.
+//
+// Run with:
+//
+//	go run ./examples/populate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/metapath"
+	"shine/internal/populate"
+	"shine/internal/shine"
+)
+
+func main() {
+	// A deliberately symmetric network: two authors named Wei Wang
+	// with near-identical publication behaviour, so context alone
+	// cannot separate them.
+	d := hin.NewDBLPSchema()
+	b := hin.NewBuilder(d.Schema)
+	w1 := b.MustAddObject(d.Author, "Wei Wang 0001")
+	w2 := b.MustAddObject(d.Author, "Wei Wang 0002")
+	sigmod := b.MustAddObject(d.Venue, "SIGMOD")
+	data := b.MustAddObject(d.Term, "data")
+	for i, a := range []hin.ObjectID{w1, w2} {
+		p := b.MustAddObject(d.Paper, fmt.Sprintf("p%d", i))
+		b.MustAddLink(d.Write, a, p)
+		b.MustAddLink(d.Publish, sigmod, p)
+		b.MustAddLink(d.Contain, p, data)
+	}
+	g := b.Build()
+
+	doc := corpus.NewDocument("homepage", "Wei Wang", hin.NoObject,
+		[]hin.ObjectID{sigmod, data})
+	c := &corpus.Corpus{}
+	c.Add(doc)
+
+	m, err := shine.New(g, d.Author, metapath.DBLPPaperPaths(d), c, shine.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := m.Link(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("before enrichment (symmetric network):")
+	for _, cs := range before.Candidates {
+		fmt.Printf("  %-16s posterior %.3f\n", g.Name(cs.Entity), cs.Posterior)
+	}
+
+	// Populate extracted facts: an information extractor read
+	// "Wei Wang received a Ph.D from UCLA" on a page previously
+	// linked to Wei Wang 0001, and a Tsinghua page for 0002.
+	e := populate.NewEnricher(g)
+	org, err := e.EnsureType("organization", "ORG")
+	if err != nil {
+		log.Fatal(err)
+	}
+	aff, err := e.EnsureRelation("isAffiliatedWith", "hasMember", d.Author, org)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range []populate.Fact{
+		{Relation: aff, Subject: w1, ObjectName: "UCLA"},
+		{Relation: aff, Subject: w2, ObjectName: "Tsinghua"},
+	} {
+		if err := e.Add(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g2, err := e.Graph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npopulated %d affiliation facts; network now has %d objects\n",
+		e.Facts(), g2.NumObjects())
+
+	// Section 4: "we could simply add some new meta-paths (such as
+	// A-ORG and A-P-A-ORG) into the meta-path set used in our model."
+	paths := metapath.DBLPPaperPaths(d)
+	aOrg, err := metapath.New(d.Schema, aff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paths = append(paths, aOrg)
+
+	// A new document that names the organization: the enriched
+	// network plus the A-ORG path makes the mention resolvable.
+	ucla, _ := g2.Lookup(org, "UCLA")
+	doc2 := corpus.NewDocument("homepage2", "Wei Wang", hin.NoObject,
+		[]hin.ObjectID{sigmod, data, ucla})
+	c2 := &corpus.Corpus{}
+	c2.Add(doc2)
+
+	// With a two-object document, a high θ lets the entity-specific
+	// evidence dominate the generic model (the paper's θ sweep shows
+	// the best value is corpus-dependent).
+	cfg := shine.DefaultConfig()
+	cfg.Theta = 0.8
+	m2, err := shine.New(g2, d.Author, paths, c2, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := m2.Link(doc2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter enrichment, document mentioning UCLA (uniform weights):")
+	for _, cs := range after.Candidates {
+		fmt.Printf("  %-16s posterior %.3f\n", g2.Name(cs.Entity), cs.Posterior)
+	}
+
+	// The EM learner then adapts the weights to the new path set —
+	// "our model can automatically learn the relative importance for
+	// these new meta-paths" (Section 4).
+	if _, err := m2.Learn(c2); err != nil {
+		log.Fatal(err)
+	}
+	learned, err := m2.Link(doc2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter EM learning (w(A-ORG) = %.3f):\n", m2.Weights()[len(paths)-1])
+	for _, cs := range learned.Candidates {
+		fmt.Printf("  %-16s posterior %.3f\n", g2.Name(cs.Entity), cs.Posterior)
+	}
+	fmt.Printf("\nlinked to %s\n", g2.Name(learned.Entity))
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a tiny DBLP-style network by hand, write one Web
+// document, and link its ambiguous "Wei Wang" mention — the paper's
+// Figure 1 scenario at miniature scale.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/metapath"
+	"shine/internal/shine"
+)
+
+func main() {
+	// 1. Build the heterogeneous information network. Two authors
+	// share the name "Wei Wang": one at UCLA publishing data mining
+	// papers at SIGMOD with Richard R. Muntz, one publishing theory
+	// papers at STOC.
+	d := hin.NewDBLPSchema()
+	b := hin.NewBuilder(d.Schema)
+
+	ucla := b.MustAddObject(d.Author, "Wei Wang 0001")
+	theory := b.MustAddObject(d.Author, "Wei Wang 0002")
+	muntz := b.MustAddObject(d.Author, "Richard R. Muntz")
+	sigmod := b.MustAddObject(d.Venue, "SIGMOD")
+	stoc := b.MustAddObject(d.Venue, "STOC")
+	data := b.MustAddObject(d.Term, "data")
+	mine := b.MustAddObject(d.Term, "mine") // Porter stem of "mining"
+	proof := b.MustAddObject(d.Term, "proof")
+	y1999 := b.MustAddObject(d.Year, "1999")
+
+	for i := 0; i < 4; i++ {
+		p := b.MustAddObject(d.Paper, fmt.Sprintf("ucla-p%d", i))
+		b.MustAddLink(d.Write, ucla, p)
+		b.MustAddLink(d.Write, muntz, p)
+		b.MustAddLink(d.Publish, sigmod, p)
+		b.MustAddLink(d.Contain, p, data)
+		b.MustAddLink(d.Contain, p, mine)
+		b.MustAddLink(d.PublishedIn, p, y1999)
+	}
+	p := b.MustAddObject(d.Paper, "theory-p0")
+	b.MustAddLink(d.Write, theory, p)
+	b.MustAddLink(d.Publish, stoc, p)
+	b.MustAddLink(d.Contain, p, proof)
+	b.MustAddLink(d.PublishedIn, p, y1999)
+
+	g := b.Build()
+	fmt.Printf("network: %d objects, %d links\n", g.NumObjects(), g.NumLinks())
+
+	// 2. Ingest a raw Web document through the preprocessing pipeline:
+	// tokenisation, dictionary matching of author and venue names,
+	// year recognition, stop-word filtering and stemming.
+	ing, err := corpus.NewIngester(g, corpus.DBLPIngestConfig(d))
+	if err != nil {
+		log.Fatal(err)
+	}
+	text := "Wei Wang received a Ph.D in 1999 under the supervision of " +
+		"Prof. Richard R. Muntz. Her research interests include data " +
+		"mining. She has published at SIGMOD."
+	doc := ing.Ingest("homepage", "Wei Wang", hin.NoObject, text)
+	fmt.Printf("document ingested into %d typed objects\n", doc.TotalCount())
+
+	c := &corpus.Corpus{}
+	c.Add(doc)
+
+	// 3. Build the SHINE model with the paper's ten meta-paths and
+	// link the mention.
+	m, err := shine.New(g, d.Author, metapath.DBLPPaperPaths(d), c, shine.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Link(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmention %q links to %q\n", doc.Mention, g.Name(res.Entity))
+	for _, cs := range res.Candidates {
+		fmt.Printf("  %-16s posterior %.4f  (popularity %.4f)\n",
+			g.Name(cs.Entity), cs.Posterior, m.Popularity(cs.Entity))
+	}
+}

@@ -1,0 +1,75 @@
+// Weights: inspect how the unsupervised EM learner (Algorithm 1)
+// behaves — the objective trajectory, per-M-step gains, and how the
+// learned meta-path weights shift mass onto discriminative paths
+// (the paper's Section 5.5 investigation).
+//
+// Run with:
+//
+//	go run ./examples/weights
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shine/internal/metapath"
+	"shine/internal/shine"
+	"shine/internal/synth"
+)
+
+func main() {
+	net := synth.DefaultDBLPConfig()
+	net.RegularAuthors = 600
+	net.AmbiguousGroups = 10
+	doc := synth.DefaultDocConfig()
+	doc.NumDocs = 200
+	ds, err := synth.BuildDataset(net, doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := ds.Data.Schema
+
+	m, err := shine.New(ds.Data.Graph, d.Author, metapath.DBLPPaperPaths(d), ds.Corpus, shine.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("initial weights (uniform before learning):")
+	printWeights(m)
+
+	stats, err := m.Learn(ds.Corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nEM trace (%d iterations, converged=%v):\n", stats.EMIterations, stats.Converged)
+	fmt.Println("iter  objective J       M-step gain")
+	for i := range stats.Objective {
+		fmt.Printf("%4d  %14.2f  %12.4f\n", i+1, stats.Objective[i], stats.MStepGain[i])
+	}
+	fmt.Printf("avg time: %v per EM iteration, %v per gradient step\n",
+		stats.EMIterTime, stats.GDIterTime)
+
+	fmt.Println("\nweight evolution across EM iterations:")
+	fmt.Printf("%-10s", "path")
+	for i := range stats.Weights {
+		fmt.Printf("  iter%-2d", i+1)
+	}
+	fmt.Println()
+	for pi, p := range m.Paths() {
+		fmt.Printf("%-10s", p)
+		for _, w := range stats.Weights {
+			fmt.Printf("  %.4f", w[pi])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nfinal learned weights:")
+	printWeights(m)
+}
+
+func printWeights(m *shine.Model) {
+	for i, p := range m.Paths() {
+		fmt.Printf("  %-10s %.4f\n", p, m.Weights()[i])
+	}
+}

@@ -1,0 +1,3 @@
+module shine
+
+go 1.22

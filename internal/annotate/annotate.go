@@ -1,0 +1,149 @@
+// Package annotate implements the paper's motivating application of
+// Section 1: automatically annotating domain-specific Web text with
+// knowledge from the network. It adds the missing front half of the
+// pipeline — *detecting* entity mentions in raw text — on top of the
+// SHINE linker: every occurrence of a known entity surface form is
+// found, linked in the context of the full document, and returned
+// with its byte span, entity and posterior, ready to be rendered as
+// hyperlinks or knowledge cards ("we could show some related
+// knowledge about the author ... after linking it").
+package annotate
+
+import (
+	"fmt"
+	"strings"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/shine"
+	"shine/internal/textproc"
+)
+
+// Annotation is one linked mention within a text.
+type Annotation struct {
+	// Start and End are byte offsets of the mention in the input.
+	Start, End int
+	// Surface is the mention text as it appeared.
+	Surface string
+	// Entity is the linked entity.
+	Entity hin.ObjectID
+	// EntityName is the entity's (disambiguated) name in the network.
+	EntityName string
+	// Posterior is the linking confidence P(e|m, d).
+	Posterior float64
+	// Candidates is the number of entities the surface form could
+	// have referred to.
+	Candidates int
+}
+
+// Annotator detects and links entity mentions in raw text. It is
+// immutable after construction and safe for concurrent use if the
+// underlying model is.
+type Annotator struct {
+	model *shine.Model
+	ing   *corpus.Ingester
+	// mentions maps entity surface forms (disambiguation suffixes
+	// stripped) to detection; the payload is unused, matching is all
+	// that matters.
+	mentions *textproc.Dictionary
+	// minPosterior suppresses annotations the model is unsure about.
+	minPosterior float64
+}
+
+// Options configures an Annotator.
+type Options struct {
+	// MinPosterior drops annotations whose top posterior is below it;
+	// 0 keeps everything.
+	MinPosterior float64
+}
+
+// New builds an annotator from a linked-up model and the ingestion
+// configuration of its network's schema. The mention dictionary is
+// built from the names of all entity-type objects.
+func New(m *shine.Model, cfg corpus.IngestConfig, opts Options) (*Annotator, error) {
+	if opts.MinPosterior < 0 || opts.MinPosterior >= 1 {
+		return nil, fmt.Errorf("annotate: MinPosterior %v outside [0, 1)", opts.MinPosterior)
+	}
+	ing, err := corpus.NewIngester(m.Graph(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	dict := textproc.NewDictionary()
+	g := m.Graph()
+	entityType, err := entityTypeOf(m)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range g.ObjectsOfType(entityType) {
+		dict.Add(stripSuffix(g.Name(e)), struct{}{})
+	}
+	return &Annotator{model: m, ing: ing, mentions: dict, minPosterior: opts.MinPosterior}, nil
+}
+
+// entityTypeOf recovers the model's entity type from its meta-path
+// set (every path starts at the entity type).
+func entityTypeOf(m *shine.Model) (hin.TypeID, error) {
+	paths := m.Paths()
+	if len(paths) == 0 {
+		return hin.NoType, fmt.Errorf("annotate: model has no meta-paths")
+	}
+	return paths[0].StartType(m.Graph().Schema()), nil
+}
+
+func stripSuffix(name string) string {
+	fields := strings.Fields(name)
+	if n := len(fields); n > 1 {
+		allDigits := true
+		for _, c := range fields[n-1] {
+			if c < '0' || c > '9' {
+				allDigits = false
+				break
+			}
+		}
+		if allDigits {
+			fields = fields[:n-1]
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+// Annotate detects every entity mention in text and links each one
+// using the full document as context. Mentions whose best posterior
+// falls below MinPosterior are omitted. Annotations are returned in
+// text order.
+func (a *Annotator) Annotate(id, text string) ([]Annotation, error) {
+	tokens := textproc.Tokenize(text)
+	matches := a.mentions.FindAll(tokens)
+	if len(matches) == 0 {
+		return nil, nil
+	}
+	g := a.model.Graph()
+
+	var out []Annotation
+	for mi, match := range matches {
+		start := tokens[match.TokenStart].Start
+		end := tokens[match.TokenEnd-1].End
+		surface := text[start:end] // as written, punctuation included
+		doc := a.ing.Ingest(fmt.Sprintf("%s#%d", id, mi), surface, hin.NoObject, text)
+		res, err := a.model.Link(doc)
+		if err != nil {
+			// Surface forms come from entity names, so candidates
+			// always exist; any error is a real failure.
+			return nil, fmt.Errorf("annotate: linking %q: %w", surface, err)
+		}
+		best := res.Candidates[0]
+		if best.Posterior < a.minPosterior {
+			continue
+		}
+		out = append(out, Annotation{
+			Start:      start,
+			End:        end,
+			Surface:    surface,
+			Entity:     res.Entity,
+			EntityName: g.Name(res.Entity),
+			Posterior:  best.Posterior,
+			Candidates: len(res.Candidates),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+// Package baselines implements the two comparison systems of the
+// paper's evaluation (Section 5.2.1): the entity popularity baseline
+// POP and the vector similarity baseline VSim.
+package baselines
+
+import (
+	"fmt"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/namematch"
+	"shine/internal/pagerank"
+)
+
+// POP links every mention to its most popular candidate entity,
+// using the same PageRank-based popularity model as SHINE (Formula
+// 7). Context is ignored entirely.
+type POP struct {
+	popularity map[hin.ObjectID]float64
+	index      *namematch.Index
+}
+
+// NewPOP computes entity popularity offline and indexes entity names.
+func NewPOP(g *hin.Graph, entityType hin.TypeID, opts pagerank.Options) (*POP, error) {
+	res, err := pagerank.Compute(g, opts)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: computing popularity: %w", err)
+	}
+	pop, err := pagerank.EntityPopularity(g, res.Scores, entityType)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := namematch.BuildIndex(g, entityType)
+	if err != nil {
+		return nil, err
+	}
+	return &POP{popularity: pop, index: idx}, nil
+}
+
+// Link returns the most popular candidate for the document's mention.
+// Ties break towards the lower entity ID, deterministically.
+func (p *POP) Link(doc *corpus.Document) (hin.ObjectID, error) {
+	cands := p.index.Candidates(doc.Mention)
+	if len(cands) == 0 {
+		return hin.NoObject, fmt.Errorf("baselines: mention %q has no candidates", doc.Mention)
+	}
+	best := cands[0]
+	for _, e := range cands[1:] {
+		if p.popularity[e] > p.popularity[best] {
+			best = e
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,136 @@
+// Package corpus models the Web-document side of the entity linking
+// task: documents as bags of typed network objects, entity mentions
+// with gold labels, the preprocessing pipeline that turns raw text
+// into object bags (Section 5.1 of the paper), and the generic object
+// model Pg(v) estimated from the whole collection (Section 3.2).
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"shine/internal/hin"
+	"shine/internal/sparse"
+)
+
+// ObjectCount is one object of the network observed in a document,
+// with its occurrence count.
+type ObjectCount struct {
+	Object hin.ObjectID
+	Count  int
+}
+
+// Document is one Web document containing a single entity mention, in
+// the bag-of-typed-objects representation the SHINE model consumes:
+// the document "consists of various multi-type objects v's from the
+// heterogeneous information network".
+type Document struct {
+	// ID identifies the document within its corpus.
+	ID string
+	// Mention is the surface form of the named entity mention to be
+	// linked, e.g. "Wei Wang".
+	Mention string
+	// Gold is the true mapping entity, or hin.NoObject when unknown.
+	Gold hin.ObjectID
+	// Objects is the typed-object bag, sorted by ascending object ID
+	// with no duplicate objects.
+	Objects []ObjectCount
+}
+
+// TotalCount returns the total number of object occurrences in the
+// document (the bag size counting multiplicity).
+func (d *Document) TotalCount() int {
+	n := 0
+	for _, oc := range d.Objects {
+		n += oc.Count
+	}
+	return n
+}
+
+// Bag returns the document's object counts as a sparse vector.
+func (d *Document) Bag() sparse.Vector {
+	v := sparse.NewWithCapacity(len(d.Objects))
+	for _, oc := range d.Objects {
+		v.Set(int32(oc.Object), float64(oc.Count))
+	}
+	return v
+}
+
+// NewDocument builds a Document from an unsorted, possibly duplicated
+// object list, normalising it to the sorted deduplicated form.
+func NewDocument(id, mention string, gold hin.ObjectID, objects []hin.ObjectID) *Document {
+	counts := make(map[hin.ObjectID]int)
+	for _, o := range objects {
+		counts[o]++
+	}
+	d := &Document{ID: id, Mention: mention, Gold: gold}
+	d.Objects = make([]ObjectCount, 0, len(counts))
+	for o, c := range counts {
+		d.Objects = append(d.Objects, ObjectCount{Object: o, Count: c})
+	}
+	sort.Slice(d.Objects, func(i, j int) bool { return d.Objects[i].Object < d.Objects[j].Object })
+	return d
+}
+
+// Corpus is an ordered document collection D.
+type Corpus struct {
+	Docs []*Document
+}
+
+// Add appends a document.
+func (c *Corpus) Add(d *Document) { c.Docs = append(c.Docs, d) }
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int { return len(c.Docs) }
+
+// Subset returns a corpus over the first n documents, sharing the
+// underlying document values. It is the slicing operation used by the
+// paper's scalability sweep over mention-set sizes.
+func (c *Corpus) Subset(n int) (*Corpus, error) {
+	if n < 0 || n > len(c.Docs) {
+		return nil, fmt.Errorf("corpus: subset of %d from %d documents", n, len(c.Docs))
+	}
+	return &Corpus{Docs: c.Docs[:n]}, nil
+}
+
+// GenericModel is the domain's generic object model Pg(v), "learned
+// by counting the frequencies of multi-type objects appearing in the
+// document collection D". It smooths the entity-specific object model
+// so that observed objects never have zero probability.
+type GenericModel struct {
+	probs sparse.Vector
+}
+
+// EstimateGeneric builds the generic object model from a corpus. It
+// returns an error if the corpus contains no object occurrences at
+// all, since then no distribution exists.
+func EstimateGeneric(c *Corpus) (*GenericModel, error) {
+	counts := sparse.New()
+	total := 0
+	for _, d := range c.Docs {
+		for _, oc := range d.Objects {
+			counts.Add(int32(oc.Object), float64(oc.Count))
+			total += oc.Count
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("corpus: cannot estimate generic model from %d documents with no objects", c.Len())
+	}
+	counts.Scale(1 / float64(total))
+	return &GenericModel{probs: counts}, nil
+}
+
+// Prob returns Pg(v). Objects never seen in the collection have
+// probability zero; the SHINE model only evaluates Pg on objects of
+// the document being scored, which by construction were seen.
+func (g *GenericModel) Prob(v hin.ObjectID) float64 {
+	return g.probs.Get(int32(v))
+}
+
+// Support returns the number of objects with non-zero generic
+// probability.
+func (g *GenericModel) Support() int { return g.probs.Len() }
+
+// Vector returns the underlying probability vector (shared; do not
+// modify).
+func (g *GenericModel) Vector() sparse.Vector { return g.probs }

@@ -1,0 +1,162 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"shine/internal/hin"
+	"shine/internal/textproc"
+)
+
+// IngestConfig declares, for a given schema, which object types are
+// recognised in raw text and how — mirroring the paper's
+// preprocessing: "we recognized objects of author type and objects of
+// venue type from DBLP … using dictionary-based exact matching method.
+// We identified objects of year type using regular expression. All
+// remaining terms … are filtered by a stop word list and stemmed by
+// Porter Stemmer."
+type IngestConfig struct {
+	// DictTypes are object types recognised by dictionary-based exact
+	// matching of their names (e.g. author and venue in DBLP).
+	DictTypes []hin.TypeID
+	// YearType, if not hin.NoType, is the type assigned to four-digit
+	// year tokens.
+	YearType hin.TypeID
+	// TermType, if not hin.NoType, is the type of stemmed leftover
+	// terms.
+	TermType hin.TypeID
+}
+
+// DBLPIngestConfig is the paper's DBLP configuration: dictionary
+// matching for authors and venues, years by pattern, everything else
+// stemmed into terms.
+func DBLPIngestConfig(d *hin.DBLPSchema) IngestConfig {
+	return IngestConfig{
+		DictTypes: []hin.TypeID{d.Author, d.Venue},
+		YearType:  d.Year,
+		TermType:  d.Term,
+	}
+}
+
+// IMDBIngestConfig recognises actors, directors and genres by
+// dictionary and keywords as stemmed terms; movie plot text has no
+// year role in the schema of Figure 2(b).
+func IMDBIngestConfig(m *hin.IMDBSchema) IngestConfig {
+	return IngestConfig{
+		DictTypes: []hin.TypeID{m.Actor, m.Director, m.Genre},
+		YearType:  hin.NoType,
+		TermType:  m.Keyword,
+	}
+}
+
+// Ingester converts raw document text into the typed-object bag
+// representation, resolving surface forms against a graph. It is
+// immutable after construction and safe for concurrent use.
+type Ingester struct {
+	g    *hin.Graph
+	cfg  IngestConfig
+	dict *textproc.Dictionary
+}
+
+// NewIngester builds the surface-form dictionary from the names of
+// all objects of the configured dictionary types.
+func NewIngester(g *hin.Graph, cfg IngestConfig) (*Ingester, error) {
+	dict := textproc.NewDictionary()
+	for _, t := range cfg.DictTypes {
+		objs := g.ObjectsOfType(t)
+		if objs == nil {
+			return nil, fmt.Errorf("corpus: dictionary type %d has no objects", t)
+		}
+		for _, o := range objs {
+			dict.Add(canonicalSurface(g.Name(o)), o)
+		}
+	}
+	return &Ingester{g: g, cfg: cfg, dict: dict}, nil
+}
+
+// canonicalSurface strips a DBLP-style numeric disambiguation suffix
+// ("Wei Wang 0010" -> "Wei Wang") so that documents, which use the
+// plain surface form, still match the entity's dictionary entry.
+func canonicalSurface(name string) string {
+	fields := strings.Fields(name)
+	if n := len(fields); n > 1 && isAllDigits(fields[n-1]) {
+		fields = fields[:n-1]
+	}
+	return strings.Join(fields, " ")
+}
+
+// joinTokens renders a token sequence as space-joined text.
+func joinTokens(toks []textproc.Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+func isAllDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Ingest converts text into a Document. The mention surface form
+// itself is removed from the object bag, per the paper ("removed the
+// author name mention itself"). Tokens and dictionary matches that
+// resolve to no network object are dropped.
+func (in *Ingester) Ingest(id, mention string, gold hin.ObjectID, text string) *Document {
+	tokens := textproc.Tokenize(text)
+	matches := in.dict.FindAll(tokens)
+	// Normalise the mention the same way match surfaces are rendered
+	// (tokenised and space-joined), so punctuation variants like
+	// "Richard R. Muntz" still match their in-text occurrences.
+	mentionLower := strings.ToLower(joinTokens(textproc.Tokenize(mention)))
+
+	var objects []hin.ObjectID
+	matched := make([]bool, len(tokens))
+	for _, m := range matches {
+		if strings.ToLower(m.Surface(tokens)) == mentionLower {
+			// The mention itself: mark consumed but emit nothing.
+			for i := m.TokenStart; i < m.TokenEnd; i++ {
+				matched[i] = true
+			}
+			continue
+		}
+		for i := m.TokenStart; i < m.TokenEnd; i++ {
+			matched[i] = true
+		}
+		objects = append(objects, m.Value.(hin.ObjectID))
+	}
+
+	for i, tok := range tokens {
+		if matched[i] {
+			continue
+		}
+		if in.cfg.YearType != hin.NoType && textproc.IsYear(tok.Lower) {
+			if o, ok := in.g.Lookup(in.cfg.YearType, tok.Lower); ok {
+				objects = append(objects, o)
+			}
+			continue
+		}
+		if in.cfg.TermType == hin.NoType {
+			continue
+		}
+		if textproc.IsStopWord(tok.Lower) {
+			continue
+		}
+		term := textproc.NormalizeTerm(tok.Lower)
+		if term == "" {
+			continue
+		}
+		if o, ok := in.g.Lookup(in.cfg.TermType, term); ok {
+			objects = append(objects, o)
+		}
+	}
+	return NewDocument(id, mention, gold, objects)
+}

@@ -1,0 +1,104 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"shine/internal/hin"
+)
+
+// JSON-lines serialisation of ingested corpora, so that expensive
+// preprocessing runs once and experiments replay from the object-bag
+// form. Object IDs are graph-specific: a saved corpus is only valid
+// against the graph it was ingested over (the header records the
+// graph's object count as a cheap compatibility check).
+
+type corpusHeader struct {
+	Version int `json:"version"`
+	// GraphObjects pins the corpus to a graph size; a mismatch at load
+	// time means the corpus was ingested over a different network.
+	GraphObjects int `json:"graphObjects"`
+	Documents    int `json:"documents"`
+}
+
+type documentJSON struct {
+	ID      string   `json:"id"`
+	Mention string   `json:"mention"`
+	Gold    int32    `json:"gold"`
+	Objects [][2]int `json:"objects"` // [objectID, count] pairs
+}
+
+const corpusVersion = 1
+
+// WriteTo serialises the corpus for the given graph.
+func (c *Corpus) WriteTo(w io.Writer, g *hin.Graph) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(corpusHeader{
+		Version:      corpusVersion,
+		GraphObjects: g.NumObjects(),
+		Documents:    c.Len(),
+	}); err != nil {
+		return fmt.Errorf("corpus: writing header: %w", err)
+	}
+	for _, d := range c.Docs {
+		dj := documentJSON{ID: d.ID, Mention: d.Mention, Gold: int32(d.Gold)}
+		for _, oc := range d.Objects {
+			dj.Objects = append(dj.Objects, [2]int{int(oc.Object), oc.Count})
+		}
+		if err := enc.Encode(dj); err != nil {
+			return fmt.Errorf("corpus: writing document %s: %w", d.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCorpus deserialises a corpus written by WriteTo, validating it
+// against the graph it will be used with.
+func ReadCorpus(r io.Reader, g *hin.Graph) (*Corpus, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr corpusHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("corpus: reading header: %w", err)
+	}
+	if hdr.Version != corpusVersion {
+		return nil, fmt.Errorf("corpus: unsupported corpus version %d", hdr.Version)
+	}
+	if hdr.GraphObjects != g.NumObjects() {
+		return nil, fmt.Errorf("corpus: corpus was ingested over a graph with %d objects, this graph has %d",
+			hdr.GraphObjects, g.NumObjects())
+	}
+	c := &Corpus{}
+	for {
+		var dj documentJSON
+		if err := dec.Decode(&dj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("corpus: reading document %d: %w", c.Len(), err)
+		}
+		d := &Document{ID: dj.ID, Mention: dj.Mention, Gold: hin.ObjectID(dj.Gold)}
+		for _, pair := range dj.Objects {
+			obj, count := pair[0], pair[1]
+			if obj < 0 || obj >= g.NumObjects() {
+				return nil, fmt.Errorf("corpus: document %s references object %d outside the graph", dj.ID, obj)
+			}
+			if count < 1 {
+				return nil, fmt.Errorf("corpus: document %s has non-positive count %d", dj.ID, count)
+			}
+			d.Objects = append(d.Objects, ObjectCount{Object: hin.ObjectID(obj), Count: count})
+		}
+		// Enforce the sorted-unique invariant NewDocument provides.
+		for i := 1; i < len(d.Objects); i++ {
+			if d.Objects[i].Object <= d.Objects[i-1].Object {
+				return nil, fmt.Errorf("corpus: document %s objects not sorted/unique", dj.ID)
+			}
+		}
+		c.Add(d)
+	}
+	if c.Len() != hdr.Documents {
+		return nil, fmt.Errorf("corpus: header promises %d documents, file has %d", hdr.Documents, c.Len())
+	}
+	return c, nil
+}

@@ -1,0 +1,178 @@
+package disambig
+
+import (
+	"strings"
+	"testing"
+
+	"shine/internal/bibload"
+)
+
+// twoClusters: four publications by two distinct "Wei Wang"s — one in
+// a data-mining community (coauthor Han, SIGMOD), one in a theory
+// community (coauthor Euler, STOC).
+func twoClusters() []bibload.Publication {
+	return []bibload.Publication{
+		{Title: "Mining Frequent Patterns", Authors: []string{"Wei Wang", "Jiawei Han"}, Venue: "SIGMOD", Year: 1999},
+		{Title: "Mining Data Streams Fast", Authors: []string{"Wei Wang", "Jiawei Han"}, Venue: "SIGMOD", Year: 2001},
+		{Title: "Lower Bounds for Proofs", Authors: []string{"Wei Wang", "Leon Euler"}, Venue: "STOC", Year: 2000},
+		{Title: "Proof Complexity Bounds", Authors: []string{"Wei Wang", "Leon Euler"}, Venue: "STOC", Year: 2002},
+	}
+}
+
+func TestDisambiguateSplitsCommunities(t *testing.T) {
+	out, rep, err := Disambiguate(twoClusters(), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Disambiguate: %v", err)
+	}
+	if rep.SplitNames != 1 {
+		t.Errorf("SplitNames = %d, want 1", rep.SplitNames)
+	}
+	// "Wei Wang" split into 2 entities, plus Han and Euler untouched.
+	if rep.Entities != 4 {
+		t.Errorf("Entities = %d, want 4", rep.Entities)
+	}
+	// Records 0,1 share one suffix, 2,3 the other; Han/Euler unchanged.
+	name := func(pi, ai int) string { return out[pi].Authors[ai] }
+	if name(0, 0) != name(1, 0) {
+		t.Errorf("mining cluster split: %q vs %q", name(0, 0), name(1, 0))
+	}
+	if name(2, 0) != name(3, 0) {
+		t.Errorf("theory cluster split: %q vs %q", name(2, 0), name(3, 0))
+	}
+	if name(0, 0) == name(2, 0) {
+		t.Error("distinct communities merged")
+	}
+	if !strings.HasPrefix(name(0, 0), "Wei Wang ") {
+		t.Errorf("suffix missing: %q", name(0, 0))
+	}
+	if name(0, 1) != "Jiawei Han" {
+		t.Errorf("unambiguous coauthor renamed: %q", name(0, 1))
+	}
+	// Input untouched.
+	if twoClusters()[0].Authors[0] != "Wei Wang" {
+		t.Error("input mutated")
+	}
+}
+
+func TestDisambiguateTransitiveCoauthors(t *testing.T) {
+	// A chain: record 0 shares Han with record 1; record 1 shares Liu
+	// with record 2 — all three are the same Wei Wang.
+	pubs := []bibload.Publication{
+		{Title: "Paper Alpha Mining", Authors: []string{"Wei Wang", "Jiawei Han"}, Venue: "V1"},
+		{Title: "Paper Beta Graphs", Authors: []string{"Wei Wang", "Jiawei Han", "Mei Liu"}, Venue: "V2"},
+		{Title: "Paper Gamma Streams", Authors: []string{"Wei Wang", "Mei Liu"}, Venue: "V3"},
+	}
+	out, rep, err := Disambiguate(pubs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SplitNames != 0 {
+		t.Errorf("SplitNames = %d, want 0 (transitive closure)", rep.SplitNames)
+	}
+	for _, pub := range out {
+		if pub.Authors[0] != "Wei Wang" {
+			t.Errorf("single-entity name was suffixed: %q", pub.Authors[0])
+		}
+	}
+}
+
+func TestDisambiguateVenueTermEvidence(t *testing.T) {
+	// No shared coauthors, but same venue and >= 2 shared title stems.
+	pubs := []bibload.Publication{
+		{Title: "Mining Frequent Patterns", Authors: []string{"Wei Wang"}, Venue: "SIGMOD"},
+		{Title: "Frequent Patterns Revisited", Authors: []string{"Wei Wang"}, Venue: "SIGMOD"},
+		// Same venue but disjoint vocabulary: a different person.
+		{Title: "Quantum Chromodynamics Lattices", Authors: []string{"Wei Wang"}, Venue: "SIGMOD"},
+	}
+	_, rep, err := Disambiguate(pubs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two entities for Wei Wang: {0,1} and {2}.
+	if rep.Entities != 2 {
+		t.Errorf("Entities = %d, want 2", rep.Entities)
+	}
+}
+
+func TestDisambiguateRespectsExistingSuffixes(t *testing.T) {
+	pubs := []bibload.Publication{
+		{Title: "Paper One Mining", Authors: []string{"Wei Wang 0001"}, Venue: "V"},
+		{Title: "Paper Two Theory", Authors: []string{"Wei Wang 0002"}, Venue: "W"},
+	}
+	out, rep, err := Disambiguate(pubs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Names != 0 {
+		t.Errorf("already-suffixed names examined: %d", rep.Names)
+	}
+	if out[0].Authors[0] != "Wei Wang 0001" || out[1].Authors[0] != "Wei Wang 0002" {
+		t.Error("existing suffixes rewritten")
+	}
+}
+
+func TestDisambiguateSuffixAll(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SuffixAll = true
+	pubs := []bibload.Publication{
+		{Title: "Solo Paper Mining", Authors: []string{"Unique Author"}, Venue: "V"},
+	}
+	out, _, err := Disambiguate(pubs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Authors[0] != "Unique Author 0001" {
+		t.Errorf("SuffixAll output = %q", out[0].Authors[0])
+	}
+}
+
+func TestDisambiguateValidation(t *testing.T) {
+	if _, _, err := Disambiguate(nil, DefaultConfig()); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := DefaultConfig()
+	bad.MinSharedTerms = 0
+	if _, _, err := Disambiguate(twoClusters(), bad); err == nil {
+		t.Error("zero MinSharedTerms accepted")
+	}
+}
+
+func TestDisambiguateDeterministic(t *testing.T) {
+	a, _, err := Disambiguate(twoClusters(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Disambiguate(twoClusters(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Authors {
+			if a[i].Authors[j] != b[i].Authors[j] {
+				t.Fatalf("nondeterministic: %q vs %q", a[i].Authors[j], b[i].Authors[j])
+			}
+		}
+	}
+}
+
+// TestDisambiguateThenLoadEndToEnd runs the full preprocessing chain:
+// ambiguous records -> disambiguation -> network -> the two entities
+// are separately linkable.
+func TestDisambiguateThenLoadEndToEnd(t *testing.T) {
+	out, _, err := Disambiguate(twoClusters(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, pub := range out {
+		sb.WriteString(`{"title": "` + pub.Title + `", "authors": ["` +
+			strings.Join(pub.Authors, `", "`) + `"], "venue": "` + pub.Venue + `"}` + "\n")
+	}
+	d, g, _, err := bibload.Load(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Load after disambiguation: %v", err)
+	}
+	if got := len(g.ObjectsOfType(d.Author)); got != 4 {
+		t.Errorf("network has %d authors, want 4 (two Wangs + Han + Euler)", got)
+	}
+}

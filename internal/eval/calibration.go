@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// CalibrationBin is one confidence bucket of a calibration analysis:
+// of the predictions whose posterior fell in [Lo, Hi), how many were
+// actually right. A well-calibrated linker has Accuracy ≈
+// MeanPosterior in every bin — then the posterior can be trusted as a
+// confidence score for downstream filtering (e.g. only auto-populate
+// facts above 0.9).
+type CalibrationBin struct {
+	// Lo and Hi bound the bin, half-open except the last bin which
+	// includes 1.
+	Lo, Hi float64
+	// Count is the number of predictions in the bin; Correct how many
+	// matched gold.
+	Count, Correct int
+	// MeanPosterior is the average predicted confidence in the bin.
+	MeanPosterior float64
+	// Accuracy is Correct/Count (0 for empty bins).
+	Accuracy float64
+}
+
+// Calibration buckets predictions by posterior into the given number
+// of equal-width bins over [0, 1] and scores each bucket.
+func Calibration(posteriors []float64, correct []bool, bins int) ([]CalibrationBin, error) {
+	if len(posteriors) != len(correct) {
+		return nil, fmt.Errorf("eval: %d posteriors for %d outcomes", len(posteriors), len(correct))
+	}
+	if len(posteriors) == 0 {
+		return nil, fmt.Errorf("eval: no predictions to calibrate")
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("eval: %d bins", bins)
+	}
+	out := make([]CalibrationBin, bins)
+	width := 1.0 / float64(bins)
+	for i := range out {
+		out[i].Lo = float64(i) * width
+		out[i].Hi = float64(i+1) * width
+	}
+	sums := make([]float64, bins)
+	for i, p := range posteriors {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("eval: posterior %v outside [0, 1]", p)
+		}
+		b := int(p / width)
+		if b >= bins {
+			b = bins - 1 // p == 1 lands in the top bin
+		}
+		out[b].Count++
+		sums[b] += p
+		if correct[i] {
+			out[b].Correct++
+		}
+	}
+	for i := range out {
+		if out[i].Count > 0 {
+			out[i].MeanPosterior = sums[i] / float64(out[i].Count)
+			out[i].Accuracy = float64(out[i].Correct) / float64(out[i].Count)
+		}
+	}
+	return out, nil
+}
+
+// ExpectedCalibrationError summarises calibration as the
+// count-weighted mean |Accuracy − MeanPosterior| across bins — 0 for
+// a perfectly calibrated model.
+func ExpectedCalibrationError(bins []CalibrationBin) float64 {
+	total := 0
+	ece := 0.0
+	for _, b := range bins {
+		total += b.Count
+		ece += float64(b.Count) * math.Abs(b.Accuracy-b.MeanPosterior)
+	}
+	if total == 0 {
+		return 0
+	}
+	return ece / float64(total)
+}

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrationBuckets(t *testing.T) {
+	posteriors := []float64{0.05, 0.15, 0.95, 0.95, 1.0}
+	correct := []bool{false, false, true, true, true}
+	bins, err := Calibration(posteriors, correct, 10)
+	if err != nil {
+		t.Fatalf("Calibration: %v", err)
+	}
+	if len(bins) != 10 {
+		t.Fatalf("got %d bins", len(bins))
+	}
+	if bins[0].Count != 1 || bins[0].Correct != 0 {
+		t.Errorf("bin 0 = %+v", bins[0])
+	}
+	if bins[1].Count != 1 {
+		t.Errorf("bin 1 = %+v", bins[1])
+	}
+	// p = 1.0 must land in the last bin, not out of range.
+	if bins[9].Count != 3 || bins[9].Correct != 3 {
+		t.Errorf("bin 9 = %+v", bins[9])
+	}
+	if bins[9].Accuracy != 1 {
+		t.Errorf("bin 9 accuracy = %v", bins[9].Accuracy)
+	}
+	if math.Abs(bins[9].MeanPosterior-(0.95+0.95+1.0)/3) > 1e-12 {
+		t.Errorf("bin 9 mean posterior = %v", bins[9].MeanPosterior)
+	}
+}
+
+func TestCalibrationErrors(t *testing.T) {
+	if _, err := Calibration([]float64{0.5}, []bool{true, false}, 10); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Calibration(nil, nil, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Calibration([]float64{0.5}, []bool{true}, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := Calibration([]float64{1.5}, []bool{true}, 10); err == nil {
+		t.Error("out-of-range posterior accepted")
+	}
+}
+
+func TestExpectedCalibrationError(t *testing.T) {
+	// Perfectly calibrated: accuracy equals mean posterior per bin.
+	perfect := []CalibrationBin{
+		{Count: 10, Correct: 9, MeanPosterior: 0.9, Accuracy: 0.9},
+		{Count: 10, Correct: 5, MeanPosterior: 0.5, Accuracy: 0.5},
+	}
+	if got := ExpectedCalibrationError(perfect); got != 0 {
+		t.Errorf("ECE of perfect calibration = %v", got)
+	}
+	// Overconfident: predicts 0.9, achieves 0.5.
+	over := []CalibrationBin{
+		{Count: 10, Correct: 5, MeanPosterior: 0.9, Accuracy: 0.5},
+	}
+	if got := ExpectedCalibrationError(over); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("ECE = %v, want 0.4", got)
+	}
+	if got := ExpectedCalibrationError(nil); got != 0 {
+		t.Errorf("ECE of no bins = %v", got)
+	}
+}

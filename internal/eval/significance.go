@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+)
+
+// McNemarResult reports McNemar's test over paired linking outcomes —
+// the standard significance test for two classifiers evaluated on the
+// same items, matching the paper's claim language ("SHINE
+// significantly outperforms the baselines").
+type McNemarResult struct {
+	// OnlyANCorrect counts items A got right and B got wrong; OnlyB
+	// the reverse. Concordant items carry no information about the
+	// difference and are discarded by the test.
+	OnlyA, OnlyB int
+	// Statistic is the test statistic (continuity-corrected
+	// chi-squared for large discordant counts; reported as 0 when the
+	// exact binomial branch is taken).
+	Statistic float64
+	// PValue is the two-sided p-value for the null hypothesis that
+	// both linkers have the same error rate.
+	PValue float64
+	// Exact reports whether the exact binomial test was used (small
+	// discordant counts) rather than the chi-squared approximation.
+	Exact bool
+}
+
+// Significant reports whether the difference is significant at the
+// given level (e.g. 0.05).
+func (r McNemarResult) Significant(alpha float64) bool {
+	return r.PValue < alpha
+}
+
+// McNemar runs the test over paired correctness outcomes. Slices must
+// be equal length, one entry per evaluated item.
+func McNemar(correctA, correctB []bool) (McNemarResult, error) {
+	if len(correctA) != len(correctB) {
+		return McNemarResult{}, fmt.Errorf("eval: %d vs %d outcomes", len(correctA), len(correctB))
+	}
+	if len(correctA) == 0 {
+		return McNemarResult{}, fmt.Errorf("eval: no outcomes")
+	}
+	var r McNemarResult
+	for i := range correctA {
+		switch {
+		case correctA[i] && !correctB[i]:
+			r.OnlyA++
+		case !correctA[i] && correctB[i]:
+			r.OnlyB++
+		}
+	}
+	n := r.OnlyA + r.OnlyB
+	if n == 0 {
+		// The linkers agree everywhere; no evidence of a difference.
+		r.PValue = 1
+		r.Exact = true
+		return r, nil
+	}
+	if n < 25 {
+		// Exact two-sided binomial test on the discordant pairs.
+		r.Exact = true
+		k := r.OnlyA
+		if r.OnlyB < k {
+			k = r.OnlyB
+		}
+		p := 0.0
+		for i := 0; i <= k; i++ {
+			p += binomPMF(n, i)
+		}
+		r.PValue = math.Min(1, 2*p)
+		return r, nil
+	}
+	// Chi-squared with continuity correction:
+	// (|b−c|−1)² / (b+c), 1 degree of freedom.
+	d := math.Abs(float64(r.OnlyA-r.OnlyB)) - 1
+	if d < 0 {
+		d = 0
+	}
+	r.Statistic = d * d / float64(n)
+	// P(X² ≥ s) for 1 df equals erfc(sqrt(s/2)).
+	r.PValue = math.Erfc(math.Sqrt(r.Statistic / 2))
+	return r, nil
+}
+
+// binomPMF is C(n, k)·0.5^n computed in log space for stability.
+func binomPMF(n, k int) float64 {
+	lg := lgammaInt(n+1) - lgammaInt(k+1) - lgammaInt(n-k+1) + float64(n)*math.Log(0.5)
+	return math.Exp(lg)
+}
+
+func lgammaInt(n int) float64 {
+	v, _ := math.Lgamma(float64(n))
+	return v
+}
+
+// CompareLinkers evaluates both linkers on the corpus and runs
+// McNemar's test over the paired outcomes. An error from either
+// linker on a document counts as an incorrect outcome for it.
+func CompareLinkers(a, b Linker, c *corpus.Corpus) (McNemarResult, error) {
+	if c.Len() == 0 {
+		return McNemarResult{}, fmt.Errorf("eval: empty corpus")
+	}
+	outcomesA := make([]bool, c.Len())
+	outcomesB := make([]bool, c.Len())
+	for i, doc := range c.Docs {
+		if doc.Gold == hin.NoObject {
+			return McNemarResult{}, fmt.Errorf("eval: document %s has no gold label", doc.ID)
+		}
+		if e, err := a.Link(doc); err == nil && e == doc.Gold {
+			outcomesA[i] = true
+		}
+		if e, err := b.Link(doc); err == nil && e == doc.Gold {
+			outcomesB[i] = true
+		}
+	}
+	return McNemar(outcomesA, outcomesB)
+}

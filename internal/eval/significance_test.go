@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+)
+
+func TestMcNemarIdenticalLinkers(t *testing.T) {
+	a := []bool{true, false, true, true}
+	r, err := McNemar(a, a)
+	if err != nil {
+		t.Fatalf("McNemar: %v", err)
+	}
+	if r.OnlyA != 0 || r.OnlyB != 0 {
+		t.Errorf("discordants = %d, %d", r.OnlyA, r.OnlyB)
+	}
+	if r.PValue != 1 {
+		t.Errorf("PValue = %v, want 1", r.PValue)
+	}
+	if r.Significant(0.05) {
+		t.Error("identical linkers significantly different")
+	}
+}
+
+func TestMcNemarExactBranch(t *testing.T) {
+	// 8 discordant pairs, all favouring A: exact two-sided binomial
+	// p = 2 * 0.5^8 = 0.0078125.
+	a := make([]bool, 20)
+	b := make([]bool, 20)
+	for i := 0; i < 8; i++ {
+		a[i] = true // A right, B wrong
+	}
+	for i := 8; i < 20; i++ {
+		a[i], b[i] = true, true // concordant
+	}
+	r, err := McNemar(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exact {
+		t.Error("exact branch not used for 8 discordant pairs")
+	}
+	if math.Abs(r.PValue-2*math.Pow(0.5, 8)) > 1e-9 {
+		t.Errorf("PValue = %v, want %v", r.PValue, 2*math.Pow(0.5, 8))
+	}
+	if !r.Significant(0.05) {
+		t.Error("one-sided sweep of 8 pairs not significant")
+	}
+}
+
+func TestMcNemarChiSquaredBranch(t *testing.T) {
+	// 40 discordant pairs: 30 favour A, 10 favour B.
+	n := 100
+	a := make([]bool, n)
+	b := make([]bool, n)
+	for i := 0; i < 30; i++ {
+		a[i] = true
+	}
+	for i := 30; i < 40; i++ {
+		b[i] = true
+	}
+	r, err := McNemar(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exact {
+		t.Error("exact branch used for 40 discordant pairs")
+	}
+	// Statistic = (|30-10|-1)^2/40 = 361/40 = 9.025 -> p ≈ 0.0027.
+	if math.Abs(r.Statistic-9.025) > 1e-9 {
+		t.Errorf("Statistic = %v", r.Statistic)
+	}
+	if r.PValue > 0.01 || r.PValue < 0.001 {
+		t.Errorf("PValue = %v, want ≈ 0.0027", r.PValue)
+	}
+	// Balanced discordants are not significant.
+	b2 := make([]bool, n)
+	a2 := make([]bool, n)
+	for i := 0; i < 20; i++ {
+		a2[i] = true
+	}
+	for i := 20; i < 40; i++ {
+		b2[i] = true
+	}
+	r2, _ := McNemar(a2, b2)
+	if r2.Significant(0.05) {
+		t.Errorf("balanced discordants significant: p = %v", r2.PValue)
+	}
+}
+
+func TestMcNemarErrors(t *testing.T) {
+	if _, err := McNemar([]bool{true}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := McNemar(nil, nil); err == nil {
+		t.Error("empty outcomes accepted")
+	}
+}
+
+func TestCompareLinkers(t *testing.T) {
+	c := &corpus.Corpus{}
+	for i := 0; i < 10; i++ {
+		c.Add(doc("d", hin.ObjectID(i)))
+	}
+	// Linker A gets everything right; B fails on gold >= 5 and errors
+	// on gold 9.
+	perfect := LinkerFunc(func(d *corpus.Document) (hin.ObjectID, error) { return d.Gold, nil })
+	flaky := LinkerFunc(func(d *corpus.Document) (hin.ObjectID, error) {
+		if d.Gold == 9 {
+			return hin.NoObject, errors.New("boom")
+		}
+		if d.Gold >= 5 {
+			return d.Gold + 100, nil
+		}
+		return d.Gold, nil
+	})
+	r, err := CompareLinkers(perfect, flaky, c)
+	if err != nil {
+		t.Fatalf("CompareLinkers: %v", err)
+	}
+	if r.OnlyA != 5 || r.OnlyB != 0 {
+		t.Errorf("discordants = %d, %d; want 5, 0", r.OnlyA, r.OnlyB)
+	}
+	if _, err := CompareLinkers(perfect, flaky, &corpus.Corpus{}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV export: each experiment's result can be rendered as a header
+// plus rows, ready for plotting tools. WriteCSV streams them through
+// encoding/csv.
+
+// WriteCSV writes one header and the rows.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing CSV header: %w", err)
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("experiments: CSV row has %d fields, header has %d", len(row), len(header))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f64(x float64) string { return strconv.FormatFloat(x, 'g', 8, 64) }
+func ms(d time.Duration) string {
+	return strconv.FormatFloat(float64(d.Microseconds())/1000, 'f', 3, 64)
+}
+
+// CSV renders Table 2.
+func (r *Table2Result) CSV() ([]string, [][]string) {
+	header := []string{"candidate", "papers", "popularity"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Name, strconv.Itoa(row.Papers), f64(row.Popularity)})
+	}
+	return header, rows
+}
+
+// CSV renders Table 4.
+func (r *Table4Result) CSV() ([]string, [][]string) {
+	header := []string{"type_set", "correct", "accuracy"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.TypeSet, strconv.Itoa(row.Correct), f64(row.Accuracy)})
+	}
+	return header, rows
+}
+
+// CSV renders Table 5.
+func (r *Table5Result) CSV() ([]string, [][]string) {
+	header := []string{"approach", "correct", "accuracy"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Approach, strconv.Itoa(row.Correct), f64(row.Accuracy)})
+	}
+	return header, rows
+}
+
+// CSV renders both Figure 4 panels.
+func (r *Figure4Result) CSV() ([]string, [][]string) {
+	header := []string{"mentions", "em_iter_ms", "gd_iter_ms", "accuracy"}
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Mentions), ms(p.EMIterTime), ms(p.GDIterTime), f64(p.Accuracy),
+		})
+	}
+	return header, rows
+}
+
+// Figure5CSV renders the θ sweep.
+func Figure5CSV(pts []Figure5Point) ([]string, [][]string) {
+	header := []string{"theta", "accuracy"}
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{f64(p.Theta), f64(p.Accuracy)})
+	}
+	return header, rows
+}
+
+// Figure6CSV renders the learned weights.
+func Figure6CSV(rows6 []Figure6Row) ([]string, [][]string) {
+	header := []string{"meta_path", "weight"}
+	rows := make([][]string, 0, len(rows6))
+	for _, r := range rows6 {
+		rows = append(rows, []string{r.Path, f64(r.Weight)})
+	}
+	return header, rows
+}
+
+// Figure3CSV renders the per-candidate object model.
+func Figure3CSV(rows3 []Figure3Row) ([]string, [][]string) {
+	header := []string{"candidate", "object", "type", "prob"}
+	rows := make([][]string, 0, len(rows3))
+	for _, r := range rows3 {
+		rows = append(rows, []string{r.Candidate, r.Object, r.Type, f64(r.Prob)})
+	}
+	return header, rows
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"x, y", "3"}})
+	if err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header missing: %q", out)
+	}
+	// Commas inside fields must be quoted.
+	if !strings.Contains(out, `"x, y"`) {
+		t.Errorf("field not quoted: %q", out)
+	}
+}
+
+func TestWriteCSVRejectsRaggedRows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1"}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestResultCSVShapes(t *testing.T) {
+	t2 := &Table2Result{Rows: []Table2Row{{Name: "Wei Wang 0001", Papers: 5, Popularity: 0.01}}}
+	h, rows := t2.CSV()
+	if len(h) != 3 || len(rows) != 1 || rows[0][0] != "Wei Wang 0001" {
+		t.Errorf("Table2 CSV = %v %v", h, rows)
+	}
+
+	t4 := &Table4Result{Rows: []Table4Row{{TypeSet: "Year", Correct: 10, Accuracy: 0.4}}}
+	if h, rows := t4.CSV(); len(h) != 3 || rows[0][2] != "0.4" {
+		t.Errorf("Table4 CSV = %v %v", h, rows)
+	}
+
+	t5 := &Table5Result{Rows: []Table5Row{{Approach: "POP", Correct: 3, Accuracy: 0.5}}}
+	if h, rows := t5.CSV(); len(h) != 3 || rows[0][0] != "POP" {
+		t.Errorf("Table5 CSV = %v %v", h, rows)
+	}
+
+	f4 := &Figure4Result{Points: []Figure4Point{{Mentions: 100, EMIterTime: 5 * time.Millisecond, Accuracy: 0.9}}}
+	if h, rows := f4.CSV(); len(h) != 4 || rows[0][0] != "100" || rows[0][1] != "5.000" {
+		t.Errorf("Figure4 CSV = %v %v", h, rows)
+	}
+
+	if h, rows := Figure5CSV([]Figure5Point{{Theta: 0.2, Accuracy: 0.88}}); len(h) != 2 || rows[0][0] != "0.2" {
+		t.Errorf("Figure5 CSV = %v %v", h, rows)
+	}
+	if h, rows := Figure6CSV([]Figure6Row{{Path: "A-P-V", Weight: 0.1}}); len(h) != 2 || rows[0][0] != "A-P-V" {
+		t.Errorf("Figure6 CSV = %v %v", h, rows)
+	}
+	if h, rows := Figure3CSV([]Figure3Row{{Candidate: "c", Object: "o", Type: "V", Prob: 0.5}}); len(h) != 4 || rows[0][3] != "0.5" {
+		t.Errorf("Figure3 CSV = %v %v", h, rows)
+	}
+}
+
+// TestCSVEndToEnd writes a real experiment result and parses it back.
+func TestCSVEndToEnd(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	h, rows := r.CSV()
+	if err := WriteCSV(&buf, h, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 10 { // header + 9 subsets
+		t.Errorf("CSV has %d lines, want 10", len(lines))
+	}
+}

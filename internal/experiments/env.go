@@ -1,0 +1,124 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 5) over the synthetic dataset: Table 2
+// (entity popularity), Figure 3 (entity object model), Table 3
+// (meta-path set), Table 4 (VSim by object type subset), Table 5 (all
+// approaches), Figure 4(a) (per-iteration learning time vs. mention
+// count), Figure 4(b) (accuracy vs. mention count), Figure 5
+// (θ sweep, Section 5.4) and Figure 6 (learned meta-path weights,
+// Section 5.5), plus ablations the paper discusses in passing
+// (PageRank λ, full vs. stochastic gradient).
+package experiments
+
+import (
+	"fmt"
+
+	"shine/internal/corpus"
+	"shine/internal/eval"
+	"shine/internal/hin"
+	"shine/internal/metapath"
+	"shine/internal/shine"
+	"shine/internal/synth"
+)
+
+// Env is a generated dataset shared across experiments, so that every
+// table and figure of one run describes the same data — as in the
+// paper, where all of Section 5 uses one DBLP snapshot and one
+// 709-document corpus.
+type Env struct {
+	DS *synth.Dataset
+	// Paths10 is the Table 3 meta-path set; Paths4 its length-2
+	// subset (the SHINE4 configuration).
+	Paths10, Paths4 []metapath.Path
+}
+
+// NewEnv generates the dataset.
+func NewEnv(netCfg synth.DBLPConfig, docCfg synth.DocConfig) (*Env, error) {
+	ds, err := synth.BuildDataset(netCfg, docCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		DS:      ds,
+		Paths10: metapath.DBLPPaperPaths(ds.Data.Schema),
+		Paths4:  metapath.DBLPLength2Paths(ds.Data.Schema),
+	}, nil
+}
+
+// DefaultEnv generates the full-scale default dataset (≈2,000
+// authors, 700 documents).
+func DefaultEnv() (*Env, error) {
+	return NewEnv(synth.DefaultDBLPConfig(), synth.DefaultDocConfig())
+}
+
+// QuickEnv generates a reduced dataset for fast tests: ~400 authors
+// and 120 documents.
+func QuickEnv() (*Env, error) {
+	net := synth.DefaultDBLPConfig()
+	net.RegularAuthors = 400
+	net.AmbiguousGroups = 8
+	net.Topics = 4
+	net.MaxPapersPerAuthor = 30
+	doc := synth.DefaultDocConfig()
+	doc.NumDocs = 120
+	return NewEnv(net, doc)
+}
+
+// newModel builds a SHINE model over the environment's graph and
+// corpus with the given path set and configuration.
+func (e *Env) newModel(paths []metapath.Path, mutate func(*shine.Config)) (*shine.Model, error) {
+	cfg := shine.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return shine.New(e.DS.Data.Graph, e.DS.Data.Schema.Author, paths, e.DS.Corpus, cfg)
+}
+
+// evaluateShine builds, learns and evaluates one SHINE configuration
+// on a corpus, returning the evaluation summary.
+func (e *Env) evaluateShine(paths []metapath.Path, mutate func(*shine.Config), c *corpus.Corpus) (eval.Summary, *shine.Model, error) {
+	m, err := e.newModel(paths, mutate)
+	if err != nil {
+		return eval.Summary{}, nil, err
+	}
+	if _, err := m.Learn(c); err != nil {
+		return eval.Summary{}, nil, err
+	}
+	s, err := eval.Evaluate(eval.LinkerFunc(func(doc *corpus.Document) (hin.ObjectID, error) {
+		r, err := m.Link(doc)
+		if err != nil {
+			return hin.NoObject, err
+		}
+		return r.Entity, nil
+	}), c)
+	if err != nil {
+		return eval.Summary{}, nil, err
+	}
+	return s, m, nil
+}
+
+// evalModel evaluates an already-configured (and typically learned)
+// model on a corpus.
+func (e *Env) evalModel(m *shine.Model, c *corpus.Corpus) (eval.Summary, error) {
+	return eval.Evaluate(eval.LinkerFunc(func(doc *corpus.Document) (hin.ObjectID, error) {
+		r, err := m.Link(doc)
+		if err != nil {
+			return hin.NoObject, err
+		}
+		return r.Entity, nil
+	}), c)
+}
+
+// largestGroup returns the ambiguity group with the most members —
+// the synthetic stand-in for the paper's 45-way "Wei Wang" example.
+func (e *Env) largestGroup() (synth.AmbiguityGroup, error) {
+	if len(e.DS.Data.Groups) == 0 {
+		return synth.AmbiguityGroup{}, fmt.Errorf("experiments: dataset has no ambiguity groups")
+	}
+	best := e.DS.Data.Groups[0]
+	for _, g := range e.DS.Data.Groups[1:] {
+		if len(g.Members) > len(best.Members) {
+			best = g
+		}
+	}
+	return best, nil
+}

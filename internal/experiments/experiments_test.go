@@ -1,0 +1,466 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"shine/internal/synth"
+)
+
+// sharedEnv builds the quick environment once for all tests in the
+// package; generation plus learning is the expensive part.
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func quickEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() { envVal, envErr = QuickEnv() })
+	if envErr != nil {
+		t.Fatalf("QuickEnv: %v", envErr)
+	}
+	return envVal
+}
+
+func TestTable2Shape(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.Table2()
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if len(r.Rows) < 2 {
+		t.Fatalf("Table 2 has %d rows", len(r.Rows))
+	}
+	// Rows are sorted by popularity; the paper's finding is that the
+	// most prolific candidate tops the table and the least prolific
+	// ends it.
+	top, bottom := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if top.Papers < bottom.Papers {
+		t.Errorf("most popular candidate has %d papers, least popular has %d — popularity inverted",
+			top.Papers, bottom.Papers)
+	}
+	sum := 0.0
+	for i, row := range r.Rows {
+		if row.Popularity <= 0 {
+			t.Errorf("row %d has non-positive popularity", i)
+		}
+		if i > 0 && row.Popularity > r.Rows[i-1].Popularity {
+			t.Error("rows not sorted by popularity")
+		}
+		sum += row.Popularity
+	}
+	if sum > 1.0001 {
+		t.Errorf("candidate popularity sums to %v > 1", sum)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Error("rendered table missing header")
+	}
+}
+
+func TestTable3ListsTenPaths(t *testing.T) {
+	e := quickEnv(t)
+	rows := e.Table3()
+	if len(rows) != 10 {
+		t.Fatalf("Table 3 has %d rows, want 10", len(rows))
+	}
+	for _, row := range rows {
+		if row.Semantic == "" {
+			t.Errorf("path %s has no semantic gloss", row.Path)
+		}
+		if row.Length != 2 && row.Length != 4 {
+			t.Errorf("path %s has length %d", row.Path, row.Length)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.Table4()
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("Table 4 has %d rows, want 9", len(r.Rows))
+	}
+	byName := map[string]float64{}
+	for _, row := range r.Rows {
+		byName[row.TypeSet] = row.Accuracy
+		if row.Accuracy < 0 || row.Accuracy > 1 {
+			t.Errorf("%s accuracy %v out of range", row.TypeSet, row.Accuracy)
+		}
+	}
+	// Paper shape: year is by far the weakest single type, and the
+	// all-type union beats every single type.
+	for _, single := range []string{"Coauthor", "Venue", "Term"} {
+		if byName["Year"] >= byName[single] {
+			t.Errorf("Year (%v) not weakest: %s = %v", byName["Year"], single, byName[single])
+		}
+		if byName["Coauthor+Venue+Term+Year"] < byName[single] {
+			t.Errorf("all-type VSim (%v) below single type %s (%v)",
+				byName["Coauthor+Venue+Term+Year"], single, byName[single])
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Coauthor+Venue+Term+Year") {
+		t.Error("rendered table missing rows")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.Table5()
+	if err != nil {
+		t.Fatalf("Table5: %v", err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("Table 5 has %d rows, want 6", len(r.Rows))
+	}
+	byName := map[string]float64{}
+	for _, row := range r.Rows {
+		byName[row.Approach] = row.Accuracy
+	}
+	// The paper's headline orderings.
+	if byName["POP"] >= byName["VSim"] {
+		t.Errorf("POP (%v) >= VSim (%v)", byName["POP"], byName["VSim"])
+	}
+	for _, s := range []string{"SHINE4-eom", "SHINE4", "SHINEall-eom", "SHINEall"} {
+		if byName[s] <= byName["POP"] {
+			t.Errorf("%s (%v) <= POP (%v)", s, byName[s], byName["POP"])
+		}
+	}
+	// PageRank popularity vs uniform is a small effect in the paper
+	// too (0.6–1.1 points); at this reduced scale allow a few
+	// documents of slack rather than demanding a strict ordering.
+	const slack = 0.03
+	if byName["SHINE4"] < byName["SHINE4-eom"]-slack {
+		t.Errorf("PageRank popularity (%v) materially below uniform (%v) for SHINE4",
+			byName["SHINE4"], byName["SHINE4-eom"])
+	}
+	if byName["SHINEall"] < byName["SHINEall-eom"]-slack {
+		t.Errorf("PageRank popularity (%v) materially below uniform (%v) for SHINEall",
+			byName["SHINEall"], byName["SHINEall-eom"])
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SHINEall") {
+		t.Error("rendered table missing rows")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	e := quickEnv(t)
+	rows, err := e.Figure3()
+	if err != nil {
+		t.Fatalf("Figure3: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("Figure 3 empty")
+	}
+	candidates := map[string]bool{}
+	for _, row := range rows {
+		candidates[row.Candidate] = true
+		if row.Prob < 0 || row.Prob > 1 {
+			t.Errorf("Pe(%s|%s) = %v out of range", row.Object, row.Candidate, row.Prob)
+		}
+	}
+	if len(candidates) < 2 {
+		t.Errorf("Figure 3 covers %d candidates, want >= 2", len(candidates))
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.Figure4([]int{30, 60, 120})
+	if err != nil {
+		t.Fatalf("Figure4: %v", err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("Figure 4 has %d points", len(r.Points))
+	}
+	for i, p := range r.Points {
+		if p.EMIterTime <= 0 || p.GDIterTime < 0 {
+			t.Errorf("point %d has non-positive timings: %+v", i, p)
+		}
+		if p.Accuracy <= 0.4 {
+			t.Errorf("point %d accuracy %v suspiciously low", i, p.Accuracy)
+		}
+	}
+	// Scalability: quadrupling the mentions must not blow up the
+	// per-iteration time superlinearly (allow 3x headroom over the 4x
+	// linear growth for timing noise at this tiny scale).
+	t0, t1 := r.Points[0].EMIterTime, r.Points[2].EMIterTime
+	if t1 > t0*12 {
+		t.Errorf("EM iteration time grew from %v (30 mentions) to %v (120): superlinear", t0, t1)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mentions") {
+		t.Error("rendered figure missing header")
+	}
+	if _, err := e.Figure4([]int{0}); err == nil {
+		t.Error("empty size list accepted")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	e := quickEnv(t)
+	pts, err := e.Figure5([]float64{0.2, 0.8})
+	if err != nil {
+		t.Fatalf("Figure5: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Accuracy <= 0.4 {
+			t.Errorf("theta %v accuracy %v suspiciously low", p.Theta, p.Accuracy)
+		}
+	}
+	// Default grid has 9 points.
+	if pts, err = e.Figure5(nil); err != nil || len(pts) != 9 {
+		t.Errorf("default grid: %d points, err %v", len(pts), err)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	e := quickEnv(t)
+	rows, stats, err := e.Figure6()
+	if err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("Figure 6 has %d rows", len(rows))
+	}
+	sum := 0.0
+	for _, r := range rows {
+		if r.Weight < 0 {
+			t.Errorf("path %s has negative weight", r.Path)
+		}
+		sum += r.Weight
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	if stats.EMIterations < 1 {
+		t.Error("no EM iterations recorded")
+	}
+}
+
+func TestLambdaSweep(t *testing.T) {
+	e := quickEnv(t)
+	pts, err := e.LambdaSweep([]float64{0.2, 0.8})
+	if err != nil {
+		t.Fatalf("LambdaSweep: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts, err = e.LambdaSweep(nil); err != nil || len(pts) != 4 {
+		t.Errorf("default sweep: %d points, err %v", len(pts), err)
+	}
+}
+
+func TestPruningSweep(t *testing.T) {
+	e := quickEnv(t)
+	pts, err := e.PruningSweep([]int{0, 200})
+	if err != nil {
+		t.Fatalf("PruningSweep: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	exact, pruned := pts[0], pts[1]
+	if exact.MaxSupport != 0 {
+		t.Error("first point not exact")
+	}
+	// Generous pruning must not collapse accuracy.
+	if pruned.Accuracy < exact.Accuracy-0.1 {
+		t.Errorf("pruning to 200 dropped accuracy %v -> %v", exact.Accuracy, pruned.Accuracy)
+	}
+}
+
+func TestCompareSGD(t *testing.T) {
+	e := quickEnv(t)
+	cmp, err := e.CompareSGD(20)
+	if err != nil {
+		t.Fatalf("CompareSGD: %v", err)
+	}
+	if cmp.FullAccuracy <= 0.4 || cmp.SGDAccuracy <= 0.4 {
+		t.Errorf("accuracies suspiciously low: %+v", cmp)
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.Calibration(10)
+	if err != nil {
+		t.Fatalf("Calibration: %v", err)
+	}
+	if len(r.Bins) != 10 {
+		t.Fatalf("got %d bins", len(r.Bins))
+	}
+	total := 0
+	for _, b := range r.Bins {
+		total += b.Count
+	}
+	if total != e.DS.Corpus.Len() {
+		t.Errorf("bins cover %d predictions of %d documents", total, e.DS.Corpus.Len())
+	}
+	if r.ECE < 0 || r.ECE > 1 {
+		t.Errorf("ECE = %v out of range", r.ECE)
+	}
+}
+
+func TestAmbiguityBreakdown(t *testing.T) {
+	e := quickEnv(t)
+	pts, err := e.AmbiguityBreakdown()
+	if err != nil {
+		t.Fatalf("AmbiguityBreakdown: %v", err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no ambiguity ranges populated")
+	}
+	mentions := 0
+	for _, p := range pts {
+		mentions += p.Mentions
+		if p.Accuracy < 0 || p.Accuracy > 1 {
+			t.Errorf("range %d-%d accuracy %v", p.MinCands, p.MaxCands, p.Accuracy)
+		}
+		// Far above the random 1/candidates baseline.
+		if p.Accuracy < 1.5/float64(p.MinCands) && p.Accuracy < 0.5 {
+			t.Errorf("range %d-%d accuracy %v barely above random", p.MinCands, p.MaxCands, p.Accuracy)
+		}
+	}
+	if mentions != e.DS.Corpus.Len() {
+		t.Errorf("breakdown covers %d of %d mentions", mentions, e.DS.Corpus.Len())
+	}
+}
+
+func TestNoiseSweep(t *testing.T) {
+	netCfg := synthSmallNet()
+	docCfg := synthSmallDocs()
+	e := quickEnv(t)
+	pts, err := e.NoiseSweep(netCfg, docCfg, []int{0, 16})
+	if err != nil {
+		t.Fatalf("NoiseSweep: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	clean, noisy := pts[0], pts[1]
+	// More noise must not help VSim.
+	if noisy.VSim > clean.VSim+0.05 {
+		t.Errorf("VSim improved under noise: %v -> %v", clean.VSim, noisy.VSim)
+	}
+	if noisy.SHINEall <= 0.3 {
+		t.Errorf("SHINE collapsed under noise: %v", noisy.SHINEall)
+	}
+}
+
+func TestIMDBComparison(t *testing.T) {
+	cfg := synth.DefaultIMDBConfig()
+	cfg.RegularActors = 120
+	cfg.NumDocs = 40
+	r, err := IMDBComparison(cfg)
+	if err != nil {
+		t.Fatalf("IMDBComparison: %v", err)
+	}
+	if r.Documents != 40 {
+		t.Errorf("documents = %d", r.Documents)
+	}
+	if r.SHINE <= r.POP {
+		t.Errorf("SHINE (%v) not above POP (%v) on IMDb", r.SHINE, r.POP)
+	}
+	if r.EMIterations < 1 {
+		t.Error("EM did not run")
+	}
+}
+
+// synthSmallNet and synthSmallDocs mirror QuickEnv's scale for
+// experiments that build their own datasets.
+func synthSmallNet() synth.DBLPConfig {
+	cfg := synth.DefaultDBLPConfig()
+	cfg.RegularAuthors = 300
+	cfg.AmbiguousGroups = 6
+	cfg.Topics = 4
+	cfg.MaxPapersPerAuthor = 30
+	return cfg
+}
+
+func synthSmallDocs() synth.DocConfig {
+	cfg := synth.DefaultDocConfig()
+	cfg.NumDocs = 80
+	return cfg
+}
+
+func TestSignificance(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.Significance()
+	if err != nil {
+		t.Fatalf("Significance: %v", err)
+	}
+	if r.SHINEAccuracy <= r.VSimAccuracy {
+		t.Errorf("SHINE (%v) not above VSim (%v)", r.SHINEAccuracy, r.VSimAccuracy)
+	}
+	if r.McNemar.PValue < 0 || r.McNemar.PValue > 1 {
+		t.Errorf("p-value %v out of range", r.McNemar.PValue)
+	}
+	if r.McNemar.OnlyA <= r.McNemar.OnlyB {
+		t.Errorf("discordants %d vs %d do not favour SHINE", r.McNemar.OnlyA, r.McNemar.OnlyB)
+	}
+}
+
+func TestNILSweep(t *testing.T) {
+	netCfg := synthSmallNet()
+	docCfg := synthSmallDocs()
+	docCfg.NILDocs = 30
+	pts, err := NILSweep(netCfg, docCfg, []float64{0.02, 0.3})
+	if err != nil {
+		t.Fatalf("NILSweep: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	low, high := pts[0], pts[1]
+	// A higher prior must not lower NIL recall and must not lower the
+	// false-NIL rate's monotone counterpart.
+	if high.NILRecall < low.NILRecall {
+		t.Errorf("NIL recall fell with prior: %v -> %v", low.NILRecall, high.NILRecall)
+	}
+	if high.FalseNILRate < low.FalseNILRate-1e-9 {
+		t.Errorf("false-NIL rate fell with prior: %v -> %v", low.FalseNILRate, high.FalseNILRate)
+	}
+	for _, p := range pts {
+		if p.Accuracy <= 0.3 {
+			t.Errorf("prior %v accuracy %v collapsed", p.Prior, p.Accuracy)
+		}
+	}
+}
+
+func TestWalkAblation(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.WalkAblation()
+	if err != nil {
+		t.Fatalf("WalkAblation: %v", err)
+	}
+	// Section 3.2's claim: constrained walks with learned weights beat
+	// the intuitive unconstrained variant.
+	if r.SHINEall <= r.Unconstrained {
+		t.Errorf("SHINEall (%v) not above unconstrained walks (%v)", r.SHINEall, r.Unconstrained)
+	}
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"shine/internal/shine"
+)
+
+// ---------------------------------------------------------------- Figure 4
+
+// Figure4Point is one mention-set size's measurements.
+type Figure4Point struct {
+	Mentions int
+	// EMIterTime and GDIterTime are the average wall-clock durations
+	// of one EM iteration and one inner gradient iteration (Figure
+	// 4(a)); both should grow about linearly with Mentions.
+	EMIterTime, GDIterTime time.Duration
+	// Accuracy is SHINEall's accuracy on this subset (Figure 4(b));
+	// it should stay roughly flat.
+	Accuracy float64
+}
+
+// Figure4Result holds the scalability sweep.
+type Figure4Result struct {
+	Points []Figure4Point
+}
+
+// Figure4 sweeps mention-set sizes and measures per-iteration
+// learning time and accuracy, reproducing both panels of Figure 4.
+// Sizes lists the subset sizes; values exceeding the corpus are
+// clamped to it, and duplicates after clamping are dropped.
+func (e *Env) Figure4(sizes []int) (*Figure4Result, error) {
+	out := &Figure4Result{}
+	seen := map[int]bool{}
+	for _, n := range sizes {
+		if n > e.DS.Corpus.Len() {
+			n = e.DS.Corpus.Len()
+		}
+		if n < 1 || seen[n] {
+			continue
+		}
+		seen[n] = true
+		sub, err := e.DS.Corpus.Subset(n)
+		if err != nil {
+			return nil, err
+		}
+		m, err := e.newModel(e.Paths10, nil)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := m.Learn(sub)
+		if err != nil {
+			return nil, err
+		}
+		s, err := e.evalModel(m, sub)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, Figure4Point{
+			Mentions:   n,
+			EMIterTime: stats.EMIterTime,
+			GDIterTime: stats.GDIterTime,
+			Accuracy:   s.Accuracy,
+		})
+	}
+	if len(out.Points) == 0 {
+		return nil, fmt.Errorf("experiments: no valid subset sizes in %v", sizes)
+	}
+	return out, nil
+}
+
+// WriteTo renders both panels as one table.
+func (r *Figure4Result) WriteTo(w io.Writer) (int64, error) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 4: scalability and robustness of SHINEall")
+	fmt.Fprintln(tw, "mentions\tEM iter (ms)\tGD iter (ms)\taccuracy")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%d\t%.2f\t%.3f\t%.3f\n",
+			p.Mentions,
+			float64(p.EMIterTime.Microseconds())/1000,
+			float64(p.GDIterTime.Microseconds())/1000,
+			p.Accuracy)
+	}
+	return 0, tw.Flush()
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Figure5Point is one θ value's accuracy.
+type Figure5Point struct {
+	Theta    float64
+	Accuracy float64
+}
+
+// Figure5 sweeps the smoothing parameter θ from 0.1 to 0.9 (Section
+// 5.4) and reports SHINEall accuracy at each value.
+func (e *Env) Figure5(thetas []float64) ([]Figure5Point, error) {
+	if len(thetas) == 0 {
+		thetas = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	var out []Figure5Point
+	for _, th := range thetas {
+		theta := th
+		s, _, err := e.evaluateShine(e.Paths10, func(c *shine.Config) { c.Theta = theta }, e.DS.Corpus)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: theta %v: %w", theta, err)
+		}
+		out = append(out, Figure5Point{Theta: theta, Accuracy: s.Accuracy})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Figure6Row is one meta-path's learned weight.
+type Figure6Row struct {
+	Path   string
+	Weight float64
+}
+
+// Figure6 learns SHINEall's weights on the full corpus and reports
+// the final meta-path weight vector (Section 5.5's investigation of
+// learned weights).
+func (e *Env) Figure6() ([]Figure6Row, *shine.LearnStats, error) {
+	m, err := e.newModel(e.Paths10, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, err := m.Learn(e.DS.Corpus)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := m.Weights()
+	rows := make([]Figure6Row, len(e.Paths10))
+	for i, p := range e.Paths10 {
+		rows[i] = Figure6Row{Path: p.String(), Weight: w[i]}
+	}
+	return rows, stats, nil
+}
+
+// ------------------------------------------------------------- Ablations
+
+// LambdaPoint is one PageRank damping value's accuracy.
+type LambdaPoint struct {
+	Lambda   float64
+	Accuracy float64
+}
+
+// LambdaSweep varies the PageRank balance parameter λ (Formula 6; the
+// paper fixes it at 0.2) and reports SHINEall accuracy.
+func (e *Env) LambdaSweep(lambdas []float64) ([]LambdaPoint, error) {
+	if len(lambdas) == 0 {
+		lambdas = []float64{0.1, 0.2, 0.5, 0.8}
+	}
+	var out []LambdaPoint
+	for _, l := range lambdas {
+		lambda := l
+		s, _, err := e.evaluateShine(e.Paths10, func(c *shine.Config) { c.PageRank.Lambda = lambda }, e.DS.Corpus)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LambdaPoint{Lambda: lambda, Accuracy: s.Accuracy})
+	}
+	return out, nil
+}
+
+// PruningPoint is one walk-pruning level's accuracy and learn time.
+type PruningPoint struct {
+	MaxSupport int // 0 = exact walks
+	Accuracy   float64
+	LearnTime  time.Duration
+}
+
+// PruningSweep measures the accuracy/cost trade-off of truncating
+// random walk distributions to their top-k entries — the
+// approximation a deployment needs once hub objects make exact
+// frontiers too large. Expected shape: accuracy degrades gracefully
+// as k shrinks, with exact walks (k = 0) as the reference.
+func (e *Env) PruningSweep(supports []int) ([]PruningPoint, error) {
+	if len(supports) == 0 {
+		supports = []int{0, 1000, 100, 10}
+	}
+	var out []PruningPoint
+	for _, k := range supports {
+		k := k
+		m, err := e.newModel(e.Paths10, func(c *shine.Config) { c.WalkPruning = k })
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := m.Learn(e.DS.Corpus); err != nil {
+			return nil, err
+		}
+		learn := time.Since(start)
+		s, err := e.evalModel(m, e.DS.Corpus)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PruningPoint{MaxSupport: k, Accuracy: s.Accuracy, LearnTime: learn})
+	}
+	return out, nil
+}
+
+// SGDComparison contrasts the full-batch M-step with the stochastic
+// variant Section 4 proposes for large mention sets.
+type SGDComparison struct {
+	FullAccuracy, SGDAccuracy float64
+	FullEMIter, SGDEMIter     time.Duration
+}
+
+// CompareSGD runs SHINEall with full gradients and with stochastic
+// batches of the given size.
+func (e *Env) CompareSGD(batch int) (*SGDComparison, error) {
+	out := &SGDComparison{}
+	m, err := e.newModel(e.Paths10, nil)
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.Learn(e.DS.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	s, err := e.evalModel(m, e.DS.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	out.FullAccuracy, out.FullEMIter = s.Accuracy, st.EMIterTime
+
+	ms, err := e.newModel(e.Paths10, func(c *shine.Config) { c.SGDBatch = batch })
+	if err != nil {
+		return nil, err
+	}
+	st, err = ms.Learn(e.DS.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	if s, err = e.evalModel(ms, e.DS.Corpus); err != nil {
+		return nil, err
+	}
+	out.SGDAccuracy, out.SGDEMIter = s.Accuracy, st.EMIterTime
+	return out, nil
+}

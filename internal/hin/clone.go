@@ -1,0 +1,30 @@
+package hin
+
+// NewBuilderFromGraph returns a Builder pre-loaded with every object
+// and link of g, sharing g's schema. It is the starting point for
+// network enrichment: add newly extracted objects and relations, then
+// Build a new immutable graph. The source graph is not modified.
+//
+// Object IDs are preserved: object v of g is object v of the builder,
+// so entity references obtained from g (e.g. linking results) remain
+// valid against the rebuilt graph.
+//
+// Note that the schema is shared, not copied: relation and type IDs
+// registered after this call exist in the schema but have no links in
+// g itself. Querying g with such IDs panics, exactly as querying with
+// any other out-of-range ID would.
+func NewBuilderFromGraph(g *Graph) *Builder {
+	b := NewBuilder(g.schema)
+	for v := 0; v < g.NumObjects(); v++ {
+		b.MustAddObject(g.typeOf[v], g.names[v])
+	}
+	for rel := 0; rel < len(g.rels); rel += 2 {
+		c := g.rels[rel]
+		for v := 0; v < g.NumObjects(); v++ {
+			for _, dst := range c.neighbors(ObjectID(v)) {
+				b.MustAddLink(RelationID(rel), ObjectID(v), dst)
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package hin
+
+import "testing"
+
+func TestNewBuilderFromGraphPreservesEverything(t *testing.T) {
+	d, g, ids := tinyDBLP(t)
+	b := NewBuilderFromGraph(g)
+	g2 := b.Build()
+
+	if g2.NumObjects() != g.NumObjects() || g2.NumLinks() != g.NumLinks() {
+		t.Fatalf("clone: %d/%d objects, %d/%d links",
+			g2.NumObjects(), g.NumObjects(), g2.NumLinks(), g.NumLinks())
+	}
+	for v := 0; v < g.NumObjects(); v++ {
+		id := ObjectID(v)
+		if g2.Name(id) != g.Name(id) || g2.TypeOf(id) != g.TypeOf(id) {
+			t.Errorf("object %d changed identity", v)
+		}
+	}
+	// Adjacency preserved, including multiplicity.
+	for rel := 0; rel < g.Schema().NumRelations(); rel++ {
+		for v := 0; v < g.NumObjects(); v++ {
+			a, b2 := g.Neighbors(RelationID(rel), ObjectID(v)), g2.Neighbors(RelationID(rel), ObjectID(v))
+			if len(a) != len(b2) {
+				t.Fatalf("rel %d obj %d: %d vs %d neighbors", rel, v, len(a), len(b2))
+			}
+			for i := range a {
+				if a[i] != b2[i] {
+					t.Fatalf("rel %d obj %d neighbor %d: %d vs %d", rel, v, i, a[i], b2[i])
+				}
+			}
+		}
+	}
+	_ = d
+	_ = ids
+}
+
+func TestNewBuilderFromGraphExtension(t *testing.T) {
+	d, g, ids := tinyDBLP(t)
+	b := NewBuilderFromGraph(g)
+
+	// Extend: a new paper for wei.
+	p := b.MustAddObject(d.Paper, "new-paper")
+	b.MustAddLink(d.Write, ids["wei"], p)
+	g2 := b.Build()
+
+	if got, want := g2.Degree(d.Write, ids["wei"]), g.Degree(d.Write, ids["wei"])+1; got != want {
+		t.Errorf("extended degree = %d, want %d", got, want)
+	}
+	// The base graph is untouched.
+	if g.NumObjects() != 9 {
+		t.Errorf("base graph mutated: %d objects", g.NumObjects())
+	}
+}

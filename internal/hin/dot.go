@@ -1,0 +1,85 @@
+package hin
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders a subgraph in Graphviz DOT format: the given seed
+// objects plus everything within the given number of hops, with
+// object types as node colours and relation names as edge labels.
+// It is a debugging aid for inspecting an entity's neighbourhood —
+// the evidence SHINE's random walks operate over.
+func (g *Graph) WriteDOT(w io.Writer, seeds []ObjectID, hops int) error {
+	if hops < 0 {
+		return fmt.Errorf("hin: negative hop count %d", hops)
+	}
+	include := make(map[ObjectID]bool)
+	frontier := make([]ObjectID, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || int(s) >= g.NumObjects() {
+			return fmt.Errorf("hin: seed object %d out of range", s)
+		}
+		if !include[s] {
+			include[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	for h := 0; h < hops; h++ {
+		var next []ObjectID
+		for _, v := range frontier {
+			for rel := 0; rel < g.schema.NumRelations(); rel++ {
+				for _, dst := range g.Neighbors(RelationID(rel), v) {
+					if !include[dst] {
+						include[dst] = true
+						next = append(next, dst)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph hin {")
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	fmt.Fprintln(bw, "  node [style=filled];")
+
+	// A fixed palette cycled over type IDs keeps colours stable.
+	palette := []string{"lightblue", "lightyellow", "lightpink", "lightgreen", "lavender", "wheat", "lightcyan"}
+	for v := 0; v < g.NumObjects(); v++ {
+		id := ObjectID(v)
+		if !include[id] {
+			continue
+		}
+		t := g.TypeOf(id)
+		// %q escapes quotes and backslashes for DOT's C-style strings.
+		fmt.Fprintf(bw, "  n%d [label=%q fillcolor=%s];\n",
+			v, fmt.Sprintf("%s (%s)", flattenName(g.Name(id)), g.schema.Type(t).Abbrev),
+			palette[int(t)%len(palette)])
+	}
+	// Forward relations only; the inverse arrows add no information.
+	for rel := 0; rel < g.schema.NumRelations(); rel += 2 {
+		name := g.schema.Relation(RelationID(rel)).Name
+		for v := 0; v < g.NumObjects(); v++ {
+			if !include[ObjectID(v)] {
+				continue
+			}
+			for _, dst := range g.Neighbors(RelationID(rel), ObjectID(v)) {
+				if !include[dst] {
+					continue
+				}
+				fmt.Fprintf(bw, "  n%d -> n%d [label=%q];\n", v, dst, name)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// flattenName removes newlines from an object name for label use.
+func flattenName(s string) string {
+	return strings.ReplaceAll(s, "\n", " ")
+}

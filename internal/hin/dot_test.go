@@ -1,0 +1,63 @@
+package hin
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTSubgraph(t *testing.T) {
+	d, g, ids := tinyDBLP(t)
+	_ = d
+	var buf bytes.Buffer
+	// One hop from wei: her papers only.
+	if err := g.WriteDOT(&buf, []ObjectID{ids["wei"]}, 1); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph hin {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("output is not a DOT digraph")
+	}
+	for _, want := range []string{"Wei Wang", "p1", "p2", "write"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// SIGMOD is two hops away and must be absent at hops=1.
+	if strings.Contains(out, "SIGMOD") {
+		t.Error("hop limit not respected: SIGMOD included at 1 hop")
+	}
+	// At two hops it appears.
+	buf.Reset()
+	if err := g.WriteDOT(&buf, []ObjectID{ids["wei"]}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SIGMOD") {
+		t.Error("SIGMOD missing at 2 hops")
+	}
+}
+
+func TestWriteDOTValidation(t *testing.T) {
+	_, g, ids := tinyDBLP(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, []ObjectID{ids["wei"]}, -1); err == nil {
+		t.Error("negative hops accepted")
+	}
+	if err := g.WriteDOT(&buf, []ObjectID{ObjectID(999)}, 1); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+func TestWriteDOTEscapesNames(t *testing.T) {
+	d := NewDBLPSchema()
+	b := NewBuilder(d.Schema)
+	a := b.MustAddObject(d.Author, `Weird "Name"`)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, []ObjectID{a}, 0); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	if strings.Count(buf.String(), `\"`) < 2 {
+		t.Errorf("quotes not escaped: %s", buf.String())
+	}
+}

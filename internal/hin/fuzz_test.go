@@ -1,0 +1,43 @@
+package hin
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadGraph hardens the deserialiser: arbitrary bytes must never
+// panic, and valid files must round-trip. The seed corpus includes a
+// real serialised graph plus hostile variants.
+func FuzzReadGraph(f *testing.F) {
+	d := NewDBLPSchema()
+	b := NewBuilder(d.Schema)
+	a := b.MustAddObject(d.Author, "Wei Wang")
+	p := b.MustAddObject(d.Paper, "p1")
+	b.MustAddLink(d.Write, a, p)
+	var buf bytes.Buffer
+	if _, err := b.Build().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SHINEHIN"))
+	f.Add(append(append([]byte{}, valid[:20]...), 0xFF, 0xFF, 0xFF, 0xFF))
+	truncated := append([]byte{}, valid[:len(valid)/2]...)
+	f.Add(truncated)
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/3] ^= 0x55
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadGraph(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		// Anything accepted must be a coherent graph.
+		if vErr := g.Validate(); vErr != nil {
+			t.Fatalf("accepted graph fails validation: %v", vErr)
+		}
+	})
+}

@@ -1,0 +1,298 @@
+package hin
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Binary serialisation of a Graph together with its Schema. The format
+// is versioned and checksummed so that corrupted or foreign files are
+// rejected with a clear error instead of producing a silently broken
+// network.
+//
+// Layout (all integers little-endian):
+//
+//	magic   [8]byte  "SHINEHIN"
+//	version uint32
+//	--- schema ---
+//	numTypes uint32, then per type: name, abbrev (length-prefixed)
+//	numRels  uint32, then per relation: name, from, to, inverse
+//	--- graph ---
+//	numObjects uint32
+//	typeOf     [numObjects]int32
+//	names      numObjects length-prefixed strings
+//	per forward relation: numEdges uint32, src dst pairs int32
+//	crc32 of everything after the magic
+const (
+	graphMagic   = "SHINEHIN"
+	graphVersion = 1
+)
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("hin: string length %d exceeds sanity bound", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// WriteTo serialises the graph (including its schema) to w. It
+// returns the number of bytes written, implementing io.WriterTo.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	count := &countingWriter{w: w}
+	bw := bufio.NewWriter(count)
+	cw := &crcWriter{w: bw}
+
+	if _, err := io.WriteString(bw, graphMagic); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(graphVersion)); err != nil {
+		return 0, err
+	}
+
+	// Schema.
+	s := g.schema
+	if err := binary.Write(cw, binary.LittleEndian, uint32(s.NumTypes())); err != nil {
+		return 0, err
+	}
+	for i := 0; i < s.NumTypes(); i++ {
+		t := s.Type(TypeID(i))
+		if err := writeString(cw, t.Name); err != nil {
+			return 0, err
+		}
+		if err := writeString(cw, t.Abbrev); err != nil {
+			return 0, err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(s.NumRelations())); err != nil {
+		return 0, err
+	}
+	for i := 0; i < s.NumRelations(); i++ {
+		r := s.Relation(RelationID(i))
+		if err := writeString(cw, r.Name); err != nil {
+			return 0, err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, []int32{int32(r.From), int32(r.To), int32(r.Inverse)}); err != nil {
+			return 0, err
+		}
+	}
+
+	// Objects.
+	n := g.NumObjects()
+	if err := binary.Write(cw, binary.LittleEndian, uint32(n)); err != nil {
+		return 0, err
+	}
+	types := make([]int32, n)
+	for v := 0; v < n; v++ {
+		types[v] = int32(g.typeOf[v])
+	}
+	if err := binary.Write(cw, binary.LittleEndian, types); err != nil {
+		return 0, err
+	}
+	for v := 0; v < n; v++ {
+		if err := writeString(cw, g.names[v]); err != nil {
+			return 0, err
+		}
+	}
+
+	// Links: forward relations only.
+	for rel := 0; rel < len(g.rels); rel += 2 {
+		c := g.rels[rel]
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(c.adj))); err != nil {
+			return 0, err
+		}
+		pairs := make([]int32, 0, 2*len(c.adj))
+		for v := 0; v < n; v++ {
+			for _, d := range c.neighbors(ObjectID(v)) {
+				pairs = append(pairs, int32(v), int32(d))
+			}
+		}
+		if err := binary.Write(cw, binary.LittleEndian, pairs); err != nil {
+			return 0, err
+		}
+	}
+
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return count.n, err
+	}
+	return count.n, nil
+}
+
+// countingWriter tracks bytes written for the io.WriterTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadGraph deserialises a graph written by WriteTo, reconstructing
+// both the schema and the adjacency structure. It verifies the magic,
+// version and checksum.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(graphMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("hin: reading magic: %w", err)
+	}
+	if string(magic) != graphMagic {
+		return nil, fmt.Errorf("hin: bad magic %q, not a SHINE graph file", magic)
+	}
+	cr := &crcReader{r: br}
+	var version uint32
+	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != graphVersion {
+		return nil, fmt.Errorf("hin: unsupported graph file version %d", version)
+	}
+
+	// Schema.
+	schema := NewSchema()
+	var numTypes uint32
+	if err := binary.Read(cr, binary.LittleEndian, &numTypes); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < numTypes; i++ {
+		name, err := readString(cr)
+		if err != nil {
+			return nil, err
+		}
+		abbrev, err := readString(cr)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := schema.AddType(name, abbrev); err != nil {
+			return nil, err
+		}
+	}
+	var numRels uint32
+	if err := binary.Read(cr, binary.LittleEndian, &numRels); err != nil {
+		return nil, err
+	}
+	relNames := make([]string, numRels)
+	relMeta := make([][3]int32, numRels)
+	for i := uint32(0); i < numRels; i++ {
+		name, err := readString(cr)
+		if err != nil {
+			return nil, err
+		}
+		var meta [3]int32
+		if err := binary.Read(cr, binary.LittleEndian, meta[:]); err != nil {
+			return nil, err
+		}
+		relNames[i] = name
+		relMeta[i] = meta
+	}
+	// Relations were written as forward/inverse pairs in order, so
+	// re-register them pairwise.
+	if numRels%2 != 0 {
+		return nil, fmt.Errorf("hin: odd relation count %d", numRels)
+	}
+	for i := uint32(0); i < numRels; i += 2 {
+		from, to := TypeID(relMeta[i][0]), TypeID(relMeta[i][1])
+		if _, err := schema.AddRelation(relNames[i], relNames[i+1], from, to); err != nil {
+			return nil, err
+		}
+	}
+
+	// Objects.
+	var numObjects uint32
+	if err := binary.Read(cr, binary.LittleEndian, &numObjects); err != nil {
+		return nil, err
+	}
+	if numObjects > 1<<30 {
+		return nil, fmt.Errorf("hin: object count %d exceeds sanity bound", numObjects)
+	}
+	types := make([]int32, numObjects)
+	if err := binary.Read(cr, binary.LittleEndian, types); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(schema)
+	for v := uint32(0); v < numObjects; v++ {
+		name, err := readString(cr)
+		if err != nil {
+			return nil, err
+		}
+		id, err := b.AddObject(TypeID(types[v]), name)
+		if err != nil {
+			return nil, err
+		}
+		if id != ObjectID(v) {
+			return nil, fmt.Errorf("hin: duplicate object (type %d, name of object %d) in file", types[v], v)
+		}
+	}
+
+	// Links.
+	for rel := uint32(0); rel < numRels; rel += 2 {
+		var numEdges uint32
+		if err := binary.Read(cr, binary.LittleEndian, &numEdges); err != nil {
+			return nil, err
+		}
+		pairs := make([]int32, 2*numEdges)
+		if err := binary.Read(cr, binary.LittleEndian, pairs); err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(pairs); i += 2 {
+			if err := b.AddLink(RelationID(rel), ObjectID(pairs[i]), ObjectID(pairs[i+1])); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	gotCRC := cr.crc
+	var wantCRC uint32
+	if err := binary.Read(br, binary.LittleEndian, &wantCRC); err != nil {
+		return nil, fmt.Errorf("hin: reading checksum: %w", err)
+	}
+	if gotCRC != wantCRC {
+		return nil, fmt.Errorf("hin: checksum mismatch: file %08x, computed %08x", wantCRC, gotCRC)
+	}
+	return b.Build(), nil
+}

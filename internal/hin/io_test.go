@@ -1,0 +1,125 @@
+package hin
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	d, g, ids := tinyDBLP(t)
+
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatalf("round-tripped graph invalid: %v", err)
+	}
+	if g2.NumObjects() != g.NumObjects() {
+		t.Fatalf("objects = %d, want %d", g2.NumObjects(), g.NumObjects())
+	}
+	if g2.NumLinks() != g.NumLinks() {
+		t.Fatalf("links = %d, want %d", g2.NumLinks(), g.NumLinks())
+	}
+	// Schema round-trips by name.
+	a2, ok := g2.Schema().TypeByAbbrev("A")
+	if !ok {
+		t.Fatal("type A lost in round trip")
+	}
+	// Object identity: names, types and adjacency must be preserved.
+	for v := 0; v < g.NumObjects(); v++ {
+		if g2.Name(ObjectID(v)) != g.Name(ObjectID(v)) {
+			t.Errorf("object %d name %q, want %q", v, g2.Name(ObjectID(v)), g.Name(ObjectID(v)))
+		}
+		if g2.TypeOf(ObjectID(v)) != g.TypeOf(ObjectID(v)) {
+			t.Errorf("object %d type %d, want %d", v, g2.TypeOf(ObjectID(v)), g.TypeOf(ObjectID(v)))
+		}
+	}
+	wei, ok := g2.Lookup(a2, "Wei Wang")
+	if !ok || wei != ids["wei"] {
+		t.Errorf("Lookup(Wei Wang) = %d, %v; want %d", wei, ok, ids["wei"])
+	}
+	w2, ok := g2.Schema().RelationByName("write")
+	if !ok {
+		t.Fatal("relation write lost in round trip")
+	}
+	if got, want := g2.Neighbors(w2, wei), g.Neighbors(d.Write, wei); len(got) != len(want) {
+		t.Errorf("wei adjacency = %v, want %v", got, want)
+	}
+}
+
+func TestReadGraphRejectsBadMagic(t *testing.T) {
+	_, err := ReadGraph(strings.NewReader("NOTAGRAPHFILE___"))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic error = %v", err)
+	}
+}
+
+func TestReadGraphRejectsTruncation(t *testing.T) {
+	_, g, _ := tinyDBLP(t)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 2} {
+		if _, err := ReadGraph(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestReadGraphRejectsCorruption(t *testing.T) {
+	_, g, _ := tinyDBLP(t)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	data := buf.Bytes()
+	// Flip a byte in the middle of the payload (object names region);
+	// the checksum must catch it even if the structure still parses.
+	corrupted := append([]byte(nil), data...)
+	corrupted[len(corrupted)/2] ^= 0xFF
+	if _, err := ReadGraph(bytes.NewReader(corrupted)); err == nil {
+		t.Error("corrupted file accepted")
+	}
+}
+
+func TestReadGraphEmptyGraph(t *testing.T) {
+	d := NewDBLPSchema()
+	g := NewBuilder(d.Schema).Build()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if g2.NumObjects() != 0 || g2.NumLinks() != 0 {
+		t.Errorf("empty graph round-trip: %d objects, %d links", g2.NumObjects(), g2.NumLinks())
+	}
+	if g2.Schema().NumTypes() != 5 {
+		t.Errorf("schema types = %d, want 5", g2.Schema().NumTypes())
+	}
+}
+
+func TestWriteToReportsBytesWritten(t *testing.T) {
+	_, g, _ := tinyDBLP(t)
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	if n == 0 {
+		t.Error("WriteTo reported zero bytes")
+	}
+}

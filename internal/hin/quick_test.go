@@ -1,0 +1,124 @@
+package hin
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a random DBLP-schema graph from a seed: a
+// property-test generator exercising the builder with arbitrary (but
+// schema-valid) shapes.
+func randomGraph(seed int64) (*DBLPSchema, *Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDBLPSchema()
+	b := NewBuilder(d.Schema)
+
+	nAuthors := 1 + rng.Intn(10)
+	nPapers := 1 + rng.Intn(20)
+	nVenues := 1 + rng.Intn(4)
+	authors := make([]ObjectID, nAuthors)
+	for i := range authors {
+		authors[i] = b.MustAddObject(d.Author, fmt.Sprintf("author-%d", i))
+	}
+	venues := make([]ObjectID, nVenues)
+	for i := range venues {
+		venues[i] = b.MustAddObject(d.Venue, fmt.Sprintf("venue-%d", i))
+	}
+	for i := 0; i < nPapers; i++ {
+		p := b.MustAddObject(d.Paper, fmt.Sprintf("paper-%d", i))
+		// Each paper gets 0-3 authors and 0-1 venues; some papers stay
+		// partially connected on purpose.
+		for k := rng.Intn(4); k > 0; k-- {
+			b.MustAddLink(d.Write, authors[rng.Intn(nAuthors)], p)
+		}
+		if rng.Intn(4) > 0 {
+			b.MustAddLink(d.Publish, venues[rng.Intn(nVenues)], p)
+		}
+	}
+	return d, b.Build()
+}
+
+func TestQuickRandomGraphsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		_, g := randomGraph(seed)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickForwardInverseDegreesBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		d, g := randomGraph(seed)
+		// Total out-degree of a forward relation equals total
+		// out-degree of its inverse: every link is counted once in
+		// each direction.
+		for rel := 0; rel < d.Schema.NumRelations(); rel += 2 {
+			fwd, inv := 0, 0
+			for v := 0; v < g.NumObjects(); v++ {
+				fwd += g.Degree(RelationID(rel), ObjectID(v))
+				inv += g.Degree(d.Schema.Inverse(RelationID(rel)), ObjectID(v))
+			}
+			if fwd != inv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSerializationRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		_, g := randomGraph(seed)
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		g2, err := ReadGraph(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.NumObjects() != g.NumObjects() || g2.NumLinks() != g.NumLinks() {
+			return false
+		}
+		for v := 0; v < g.NumObjects(); v++ {
+			if g2.Name(ObjectID(v)) != g.Name(ObjectID(v)) {
+				return false
+			}
+		}
+		return g2.Validate() == nil
+	}
+	cfg := &quick.Config{MaxCount: 25} // serialisation is the slow part
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		_, g := randomGraph(seed)
+		g2 := NewBuilderFromGraph(g).Build()
+		if g2.NumObjects() != g.NumObjects() || g2.NumLinks() != g.NumLinks() {
+			return false
+		}
+		for rel := 0; rel < g.Schema().NumRelations(); rel++ {
+			for v := 0; v < g.NumObjects(); v++ {
+				if g.Degree(RelationID(rel), ObjectID(v)) != g2.Degree(RelationID(rel), ObjectID(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package hin implements the heterogeneous information network (HIN)
+// substrate used by SHINE: typed objects, typed directed relations, a
+// meta-level schema, and a compact immutable graph representation with
+// per-relation adjacency in compressed sparse row (CSR) form.
+//
+// The terminology follows Shen, Han and Wang (SIGMOD 2014) and Sun et
+// al.'s meta-path work: a HIN is a directed graph G = (V, Z) whose
+// objects each belong to one object type T and whose links each belong
+// to one relation type R, with |{T}| > 1 and |{R}| > 1. Every relation
+// is registered together with its inverse so that random walks can
+// traverse links in either direction.
+package hin
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeID identifies an object type within a Schema.
+type TypeID int32
+
+// RelationID identifies a relation type within a Schema.
+type RelationID int32
+
+// NoType and NoRelation are sentinel values returned by lookups that
+// find nothing.
+const (
+	NoType     TypeID     = -1
+	NoRelation RelationID = -1
+)
+
+// TypeInfo describes one object type in the network schema.
+type TypeInfo struct {
+	// Name is the full type name, e.g. "author".
+	Name string
+	// Abbrev is the short code used in meta-path notation, e.g. "A".
+	Abbrev string
+}
+
+// RelationInfo describes one relation type in the network schema. Every
+// relation is directed; its inverse is a distinct RelationID recorded
+// in Inverse.
+type RelationInfo struct {
+	// Name is the relation name, e.g. "write".
+	Name string
+	// From and To are the source and destination object types.
+	From, To TypeID
+	// Inverse is the RelationID of the reverse relation. AddRelation
+	// always creates relations in inverse pairs, so Inverse is valid
+	// for every relation.
+	Inverse RelationID
+}
+
+// Schema is the meta-level description of a heterogeneous information
+// network: the set of object types and the set of typed relations
+// between them. The zero value is an empty schema ready to use.
+type Schema struct {
+	types     []TypeInfo
+	relations []RelationInfo
+
+	typeByName   map[string]TypeID
+	typeByAbbrev map[string]TypeID
+	relByName    map[string]RelationID
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{
+		typeByName:   make(map[string]TypeID),
+		typeByAbbrev: make(map[string]TypeID),
+		relByName:    make(map[string]RelationID),
+	}
+}
+
+func (s *Schema) ensureMaps() {
+	if s.typeByName == nil {
+		s.typeByName = make(map[string]TypeID)
+		s.typeByAbbrev = make(map[string]TypeID)
+		s.relByName = make(map[string]RelationID)
+	}
+}
+
+// AddType registers a new object type and returns its TypeID. Both the
+// full name and the abbreviation must be unique within the schema.
+func (s *Schema) AddType(name, abbrev string) (TypeID, error) {
+	s.ensureMaps()
+	if name == "" || abbrev == "" {
+		return NoType, fmt.Errorf("hin: type name and abbreviation must be non-empty")
+	}
+	if _, ok := s.typeByName[name]; ok {
+		return NoType, fmt.Errorf("hin: duplicate type name %q", name)
+	}
+	if _, ok := s.typeByAbbrev[abbrev]; ok {
+		return NoType, fmt.Errorf("hin: duplicate type abbreviation %q", abbrev)
+	}
+	id := TypeID(len(s.types))
+	s.types = append(s.types, TypeInfo{Name: name, Abbrev: abbrev})
+	s.typeByName[name] = id
+	s.typeByAbbrev[abbrev] = id
+	return id, nil
+}
+
+// MustAddType is AddType that panics on error, for use in schema
+// construction code where the definitions are static.
+func (s *Schema) MustAddType(name, abbrev string) TypeID {
+	id, err := s.AddType(name, abbrev)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddRelation registers a directed relation from one type to another
+// together with its inverse, and returns the forward RelationID. The
+// inverse relation is named invName; if invName is empty it defaults to
+// name + "^-1".
+func (s *Schema) AddRelation(name, invName string, from, to TypeID) (RelationID, error) {
+	s.ensureMaps()
+	if name == "" {
+		return NoRelation, fmt.Errorf("hin: relation name must be non-empty")
+	}
+	if invName == "" {
+		invName = name + "^-1"
+	}
+	if !s.validType(from) || !s.validType(to) {
+		return NoRelation, fmt.Errorf("hin: relation %q references unknown type", name)
+	}
+	if _, ok := s.relByName[name]; ok {
+		return NoRelation, fmt.Errorf("hin: duplicate relation name %q", name)
+	}
+	if _, ok := s.relByName[invName]; ok {
+		return NoRelation, fmt.Errorf("hin: duplicate relation name %q", invName)
+	}
+	fwd := RelationID(len(s.relations))
+	inv := fwd + 1
+	s.relations = append(s.relations,
+		RelationInfo{Name: name, From: from, To: to, Inverse: inv},
+		RelationInfo{Name: invName, From: to, To: from, Inverse: fwd},
+	)
+	s.relByName[name] = fwd
+	s.relByName[invName] = inv
+	return fwd, nil
+}
+
+// MustAddRelation is AddRelation that panics on error.
+func (s *Schema) MustAddRelation(name, invName string, from, to TypeID) RelationID {
+	id, err := s.AddRelation(name, invName, from, to)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (s *Schema) validType(t TypeID) bool {
+	return t >= 0 && int(t) < len(s.types)
+}
+
+func (s *Schema) validRelation(r RelationID) bool {
+	return r >= 0 && int(r) < len(s.relations)
+}
+
+// NumTypes returns the number of registered object types.
+func (s *Schema) NumTypes() int { return len(s.types) }
+
+// NumRelations returns the number of registered relations, counting
+// each inverse separately.
+func (s *Schema) NumRelations() int { return len(s.relations) }
+
+// Type returns the TypeInfo for id. It panics if id is out of range.
+func (s *Schema) Type(id TypeID) TypeInfo {
+	if !s.validType(id) {
+		panic(fmt.Sprintf("hin: invalid TypeID %d", id))
+	}
+	return s.types[id]
+}
+
+// Relation returns the RelationInfo for id. It panics if id is out of
+// range.
+func (s *Schema) Relation(id RelationID) RelationInfo {
+	if !s.validRelation(id) {
+		panic(fmt.Sprintf("hin: invalid RelationID %d", id))
+	}
+	return s.relations[id]
+}
+
+// Inverse returns the RelationID of the inverse of r.
+func (s *Schema) Inverse(r RelationID) RelationID {
+	return s.Relation(r).Inverse
+}
+
+// TypeByName looks up an object type by its full name. The second
+// return value reports whether the type exists.
+func (s *Schema) TypeByName(name string) (TypeID, bool) {
+	id, ok := s.typeByName[name]
+	if !ok {
+		return NoType, false
+	}
+	return id, true
+}
+
+// TypeByAbbrev looks up an object type by its meta-path abbreviation.
+func (s *Schema) TypeByAbbrev(abbrev string) (TypeID, bool) {
+	id, ok := s.typeByAbbrev[abbrev]
+	if !ok {
+		return NoType, false
+	}
+	return id, true
+}
+
+// RelationByName looks up a relation by name.
+func (s *Schema) RelationByName(name string) (RelationID, bool) {
+	id, ok := s.relByName[name]
+	if !ok {
+		return NoRelation, false
+	}
+	return id, true
+}
+
+// RelationsFrom returns the IDs of all relations whose source type is
+// from, in registration order.
+func (s *Schema) RelationsFrom(from TypeID) []RelationID {
+	var out []RelationID
+	for i, r := range s.relations {
+		if r.From == from {
+			out = append(out, RelationID(i))
+		}
+	}
+	return out
+}
+
+// RelationsBetween returns the IDs of all relations leading from type
+// from to type to.
+func (s *Schema) RelationsBetween(from, to TypeID) []RelationID {
+	var out []RelationID
+	for i, r := range s.relations {
+		if r.From == from && r.To == to {
+			out = append(out, RelationID(i))
+		}
+	}
+	return out
+}
+
+// String renders the schema in a compact human-readable form, one
+// relation pair per line.
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString("schema{")
+	for i, t := range s.types {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s(%s)", t.Name, t.Abbrev)
+	}
+	b.WriteString("}")
+	for i := 0; i < len(s.relations); i += 2 {
+		r := s.relations[i]
+		fmt.Fprintf(&b, "\n  %s: %s -> %s (inverse %s)",
+			r.Name, s.types[r.From].Abbrev, s.types[r.To].Abbrev,
+			s.relations[r.Inverse].Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package hin
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaAddType(t *testing.T) {
+	s := NewSchema()
+	a, err := s.AddType("author", "A")
+	if err != nil {
+		t.Fatalf("AddType: %v", err)
+	}
+	p, err := s.AddType("paper", "P")
+	if err != nil {
+		t.Fatalf("AddType: %v", err)
+	}
+	if a == p {
+		t.Fatalf("distinct types got same ID %d", a)
+	}
+	if s.NumTypes() != 2 {
+		t.Fatalf("NumTypes = %d, want 2", s.NumTypes())
+	}
+	if got := s.Type(a); got.Name != "author" || got.Abbrev != "A" {
+		t.Errorf("Type(a) = %+v", got)
+	}
+}
+
+func TestSchemaAddTypeRejectsDuplicates(t *testing.T) {
+	s := NewSchema()
+	s.MustAddType("author", "A")
+	if _, err := s.AddType("author", "X"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := s.AddType("actor", "A"); err == nil {
+		t.Error("duplicate abbreviation accepted")
+	}
+	if _, err := s.AddType("", "B"); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestSchemaAddRelationCreatesInversePair(t *testing.T) {
+	s := NewSchema()
+	a := s.MustAddType("author", "A")
+	p := s.MustAddType("paper", "P")
+	w, err := s.AddRelation("write", "writtenBy", a, p)
+	if err != nil {
+		t.Fatalf("AddRelation: %v", err)
+	}
+	inv := s.Inverse(w)
+	if inv == w {
+		t.Fatal("relation is its own inverse")
+	}
+	wi := s.Relation(w)
+	ii := s.Relation(inv)
+	if wi.From != a || wi.To != p {
+		t.Errorf("forward relation typed %d->%d, want %d->%d", wi.From, wi.To, a, p)
+	}
+	if ii.From != p || ii.To != a {
+		t.Errorf("inverse relation typed %d->%d, want %d->%d", ii.From, ii.To, p, a)
+	}
+	if s.Inverse(inv) != w {
+		t.Error("inverse of inverse is not the original relation")
+	}
+	if ii.Name != "writtenBy" {
+		t.Errorf("inverse name = %q", ii.Name)
+	}
+}
+
+func TestSchemaAddRelationDefaultInverseName(t *testing.T) {
+	s := NewSchema()
+	a := s.MustAddType("author", "A")
+	p := s.MustAddType("paper", "P")
+	w := s.MustAddRelation("write", "", a, p)
+	if got := s.Relation(s.Inverse(w)).Name; got != "write^-1" {
+		t.Errorf("default inverse name = %q, want write^-1", got)
+	}
+}
+
+func TestSchemaAddRelationRejectsBadInput(t *testing.T) {
+	s := NewSchema()
+	a := s.MustAddType("author", "A")
+	p := s.MustAddType("paper", "P")
+	if _, err := s.AddRelation("", "", a, p); err == nil {
+		t.Error("empty relation name accepted")
+	}
+	if _, err := s.AddRelation("write", "", a, TypeID(99)); err == nil {
+		t.Error("unknown target type accepted")
+	}
+	s.MustAddRelation("write", "writtenBy", a, p)
+	if _, err := s.AddRelation("write", "", a, p); err == nil {
+		t.Error("duplicate relation name accepted")
+	}
+	if _, err := s.AddRelation("cite", "write", p, p); err == nil {
+		t.Error("inverse name colliding with existing relation accepted")
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := NewSchema()
+	a := s.MustAddType("author", "A")
+	p := s.MustAddType("paper", "P")
+	w := s.MustAddRelation("write", "writtenBy", a, p)
+
+	if id, ok := s.TypeByName("author"); !ok || id != a {
+		t.Errorf("TypeByName(author) = %d, %v", id, ok)
+	}
+	if id, ok := s.TypeByAbbrev("P"); !ok || id != p {
+		t.Errorf("TypeByAbbrev(P) = %d, %v", id, ok)
+	}
+	if _, ok := s.TypeByName("nope"); ok {
+		t.Error("TypeByName(nope) found something")
+	}
+	if _, ok := s.TypeByAbbrev("Z"); ok {
+		t.Error("TypeByAbbrev(Z) found something")
+	}
+	if id, ok := s.RelationByName("writtenBy"); !ok || id != s.Inverse(w) {
+		t.Errorf("RelationByName(writtenBy) = %d, %v", id, ok)
+	}
+	if _, ok := s.RelationByName("cites"); ok {
+		t.Error("RelationByName(cites) found something")
+	}
+}
+
+func TestSchemaRelationsFromAndBetween(t *testing.T) {
+	d := NewDBLPSchema()
+	s := d.Schema
+	fromPaper := s.RelationsFrom(d.Paper)
+	// paper -> author, venue, term, year: four relations.
+	if len(fromPaper) != 4 {
+		t.Fatalf("RelationsFrom(paper) = %d relations, want 4", len(fromPaper))
+	}
+	between := s.RelationsBetween(d.Author, d.Paper)
+	if len(between) != 1 || between[0] != d.Write {
+		t.Errorf("RelationsBetween(A, P) = %v, want [%d]", between, d.Write)
+	}
+	if got := s.RelationsBetween(d.Author, d.Venue); got != nil {
+		t.Errorf("RelationsBetween(A, V) = %v, want nil", got)
+	}
+}
+
+func TestDBLPSchemaShape(t *testing.T) {
+	d := NewDBLPSchema()
+	if d.Schema.NumTypes() != 5 {
+		t.Errorf("DBLP has %d types, want 5", d.Schema.NumTypes())
+	}
+	if d.Schema.NumRelations() != 8 {
+		t.Errorf("DBLP has %d relations, want 8 (4 pairs)", d.Schema.NumRelations())
+	}
+	if d.Schema.Inverse(d.Write) != d.WrittenBy {
+		t.Error("Write/WrittenBy are not inverses")
+	}
+	if d.Schema.Relation(d.PublishedAt).From != d.Paper {
+		t.Error("PublishedAt does not start at paper")
+	}
+}
+
+func TestIMDBSchemaShape(t *testing.T) {
+	m := NewIMDBSchema()
+	if m.Schema.NumTypes() != 5 {
+		t.Errorf("IMDb has %d types, want 5", m.Schema.NumTypes())
+	}
+	if m.Schema.NumRelations() != 8 {
+		t.Errorf("IMDb has %d relations, want 8", m.Schema.NumRelations())
+	}
+	if m.Schema.Inverse(m.Perform) != m.PerformedBy {
+		t.Error("Perform/PerformedBy are not inverses")
+	}
+	if got, ok := m.Schema.TypeByAbbrev("Ac"); !ok || got != m.Actor {
+		t.Error("actor abbreviation Ac not found")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	d := NewDBLPSchema()
+	str := d.Schema.String()
+	for _, want := range []string{"author(A)", "write", "publish", "contain", "publishedIn"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("Schema.String() missing %q:\n%s", want, str)
+		}
+	}
+}

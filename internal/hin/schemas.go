@@ -1,0 +1,92 @@
+package hin
+
+// This file defines the two canonical network schemas used throughout
+// the paper's experiments: the DBLP bibliographic network and the IMDb
+// movie network (Figure 2 of the paper).
+
+// DBLPSchema bundles the DBLP bibliographic network schema with its
+// type and relation handles: five object types — papers (P), authors
+// (A), publication venues (V), title terms (T) and publication years
+// (Y) — and four relation pairs.
+type DBLPSchema struct {
+	Schema *Schema
+
+	Author TypeID
+	Paper  TypeID
+	Venue  TypeID
+	Term   TypeID
+	Year   TypeID
+
+	Write       RelationID // author -> paper
+	WrittenBy   RelationID // paper -> author
+	Publish     RelationID // venue -> paper
+	PublishedAt RelationID // paper -> venue
+	Contain     RelationID // paper -> term
+	ContainedIn RelationID // term -> paper
+	PublishedIn RelationID // paper -> year
+	YearOf      RelationID // year -> paper
+}
+
+// NewDBLPSchema constructs the DBLP network schema of Figure 2(a).
+func NewDBLPSchema() *DBLPSchema {
+	s := NewSchema()
+	d := &DBLPSchema{Schema: s}
+	d.Author = s.MustAddType("author", "A")
+	d.Paper = s.MustAddType("paper", "P")
+	d.Venue = s.MustAddType("venue", "V")
+	d.Term = s.MustAddType("term", "T")
+	d.Year = s.MustAddType("year", "Y")
+
+	d.Write = s.MustAddRelation("write", "writtenBy", d.Author, d.Paper)
+	d.WrittenBy = s.Inverse(d.Write)
+	d.Publish = s.MustAddRelation("publish", "publishedAt", d.Venue, d.Paper)
+	d.PublishedAt = s.Inverse(d.Publish)
+	d.Contain = s.MustAddRelation("contain", "containedIn", d.Paper, d.Term)
+	d.ContainedIn = s.Inverse(d.Contain)
+	d.PublishedIn = s.MustAddRelation("publishedIn", "yearOf", d.Paper, d.Year)
+	d.YearOf = s.Inverse(d.PublishedIn)
+	return d
+}
+
+// IMDBSchema bundles the IMDb movie network schema with its type and
+// relation handles: movies (M), actors (Ac), genres (G), description
+// keywords (K) and directors (D).
+type IMDBSchema struct {
+	Schema *Schema
+
+	Movie    TypeID
+	Actor    TypeID
+	Genre    TypeID
+	Keyword  TypeID
+	Director TypeID
+
+	Perform     RelationID // actor -> movie
+	PerformedBy RelationID // movie -> actor
+	BelongTo    RelationID // movie -> genre
+	GenreOf     RelationID // genre -> movie
+	Contain     RelationID // movie -> keyword
+	ContainedIn RelationID // keyword -> movie
+	Direct      RelationID // director -> movie
+	DirectedBy  RelationID // movie -> director
+}
+
+// NewIMDBSchema constructs the IMDb network schema of Figure 2(b).
+func NewIMDBSchema() *IMDBSchema {
+	s := NewSchema()
+	m := &IMDBSchema{Schema: s}
+	m.Movie = s.MustAddType("movie", "M")
+	m.Actor = s.MustAddType("actor", "Ac")
+	m.Genre = s.MustAddType("genre", "G")
+	m.Keyword = s.MustAddType("keyword", "K")
+	m.Director = s.MustAddType("director", "D")
+
+	m.Perform = s.MustAddRelation("perform", "performedBy", m.Actor, m.Movie)
+	m.PerformedBy = s.Inverse(m.Perform)
+	m.BelongTo = s.MustAddRelation("belongTo", "genreOf", m.Movie, m.Genre)
+	m.GenreOf = s.Inverse(m.BelongTo)
+	m.Contain = s.MustAddRelation("contain", "containedIn", m.Movie, m.Keyword)
+	m.ContainedIn = s.Inverse(m.Contain)
+	m.Direct = s.MustAddRelation("direct", "directedBy", m.Director, m.Movie)
+	m.DirectedBy = s.Inverse(m.Direct)
+	return m
+}

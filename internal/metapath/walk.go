@@ -1,0 +1,221 @@
+package metapath
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"shine/internal/hin"
+	"shine/internal/sparse"
+)
+
+// Walker computes meta-path constrained random walk distributions
+// Pe(v|p) over a graph (Formulas 10–11 of the paper):
+//
+//	Pe(v|∅) = 1 if v = e, else 0
+//	Pe(v|p) = Σ_{v'} Pe(v'|p') · Rl(v', v) / |Rl(v')|
+//
+// where p = p' followed by relation Rl. The result of each walk is an
+// object distribution: non-negative and summing to at most 1 — mass
+// at an object with no Rl-links dies, exactly as the recursive
+// formula dictates (each of its terms Rl(v', v) is 0).
+//
+// A Walker memoises full walk distributions per (entity, path) in a
+// bounded LRU cache, because SHINE's EM loop evaluates the same
+// candidate entities against the same path set many times. Walker is
+// safe for concurrent use.
+type Walker struct {
+	g *hin.Graph
+
+	mu       sync.Mutex
+	cache    map[walkKey]*list.Element
+	order    *list.List // front = most recently used
+	capacity int
+	hits     uint64
+	misses   uint64
+}
+
+type walkKey struct {
+	entity hin.ObjectID
+	path   string
+	prune  int
+}
+
+type cacheEntry struct {
+	key  walkKey
+	dist sparse.Vector
+}
+
+// DefaultCacheSize is the default number of (entity, path)
+// distributions a Walker retains.
+const DefaultCacheSize = 65536
+
+// NewWalker returns a Walker over g with the given cache capacity; a
+// non-positive capacity disables caching.
+func NewWalker(g *hin.Graph, cacheSize int) *Walker {
+	w := &Walker{g: g, capacity: cacheSize}
+	if cacheSize > 0 {
+		w.cache = make(map[walkKey]*list.Element)
+		w.order = list.New()
+	}
+	return w
+}
+
+// Graph returns the graph the walker operates on.
+func (w *Walker) Graph() *hin.Graph { return w.g }
+
+// Walk returns the distribution Pe(v|p) of observing each object v
+// after a random walk from entity e constrained to meta-path p. The
+// returned vector is owned by the cache and must not be modified;
+// clone it if mutation is needed. Walking the empty path returns the
+// unit distribution at e.
+func (w *Walker) Walk(e hin.ObjectID, p Path) (sparse.Vector, error) {
+	return w.WalkPruned(e, p, 0)
+}
+
+// WalkPruned is Walk with support pruning: after each relation hop,
+// only the maxSupport largest entries of the intermediate
+// distribution are kept (0 disables pruning). Pruned mass is dropped,
+// not redistributed, so the result is an entry-wise lower bound on
+// the exact distribution — the approximation a production deployment
+// uses when hub objects (a venue with a million papers) would blow up
+// intermediate frontiers. Pruned and exact walks are cached under
+// distinct keys.
+func (w *Walker) WalkPruned(e hin.ObjectID, p Path, maxSupport int) (sparse.Vector, error) {
+	if e < 0 || int(e) >= w.g.NumObjects() {
+		return nil, fmt.Errorf("metapath: walk from invalid object %d", e)
+	}
+	if maxSupport < 0 {
+		return nil, fmt.Errorf("metapath: negative pruning bound %d", maxSupport)
+	}
+	if !p.IsEmpty() {
+		if start := p.StartType(w.g.Schema()); w.g.TypeOf(e) != start {
+			return nil, fmt.Errorf("metapath: path %s starts at type %s but object %d has type %s",
+				p, w.g.Schema().Type(start).Abbrev, e,
+				w.g.Schema().Type(w.g.TypeOf(e)).Abbrev)
+		}
+	}
+
+	key := walkKey{e, p.Key(), maxSupport}
+	if d, ok := w.lookup(key); ok {
+		return d, nil
+	}
+
+	cur := sparse.Unit(int32(e))
+	for _, rel := range p.Relations() {
+		next := sparse.NewWithCapacity(cur.Len())
+		for i, mass := range cur {
+			v := hin.ObjectID(i)
+			deg := w.g.Degree(rel, v)
+			if deg == 0 {
+				continue // mass dies, per Formula 11
+			}
+			share := mass / float64(deg)
+			for _, dst := range w.g.Neighbors(rel, v) {
+				next.Add(int32(dst), share)
+			}
+		}
+		if maxSupport > 0 && next.Len() > maxSupport {
+			pruned := sparse.NewWithCapacity(maxSupport)
+			for _, entry := range next.Top(maxSupport) {
+				pruned.Set(entry.Index, entry.Value)
+			}
+			next = pruned
+		}
+		cur = next
+	}
+	w.store(key, cur)
+	return cur, nil
+}
+
+// WalkMixture returns the weighted combination Σ_p w_p · Pe(v|p)
+// (Formula 12): the entity-specific object model for entity e under
+// the given path set and weight vector. The caller owns the returned
+// vector.
+func (w *Walker) WalkMixture(e hin.ObjectID, paths []Path, weights []float64) (sparse.Vector, error) {
+	return w.WalkMixturePruned(e, paths, weights, 0)
+}
+
+// WalkMixturePruned is WalkMixture with per-hop support pruning (see
+// WalkPruned).
+func (w *Walker) WalkMixturePruned(e hin.ObjectID, paths []Path, weights []float64, maxSupport int) (sparse.Vector, error) {
+	if len(paths) != len(weights) {
+		return nil, fmt.Errorf("metapath: %d paths with %d weights", len(paths), len(weights))
+	}
+	out := sparse.New()
+	for k, p := range paths {
+		if weights[k] == 0 {
+			continue
+		}
+		d, err := w.WalkPruned(e, p, maxSupport)
+		if err != nil {
+			return nil, err
+		}
+		out.AccumScaled(d, weights[k])
+	}
+	return out, nil
+}
+
+func (w *Walker) lookup(key walkKey) (sparse.Vector, bool) {
+	if w.cache == nil {
+		return nil, false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	el, ok := w.cache[key]
+	if !ok {
+		w.misses++
+		return nil, false
+	}
+	w.order.MoveToFront(el)
+	w.hits++
+	return el.Value.(*cacheEntry).dist, true
+}
+
+func (w *Walker) store(key walkKey, dist sparse.Vector) {
+	if w.cache == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if el, ok := w.cache[key]; ok {
+		w.order.MoveToFront(el)
+		el.Value.(*cacheEntry).dist = dist
+		return
+	}
+	el := w.order.PushFront(&cacheEntry{key: key, dist: dist})
+	w.cache[key] = el
+	for len(w.cache) > w.capacity {
+		back := w.order.Back()
+		if back == nil {
+			break
+		}
+		w.order.Remove(back)
+		delete(w.cache, back.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats reports cache occupancy and hit/miss counters.
+type CacheStats struct {
+	Entries int
+	Hits    uint64
+	Misses  uint64
+}
+
+// CacheStats returns a snapshot of the walker's cache counters.
+func (w *Walker) CacheStats() CacheStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return CacheStats{Entries: len(w.cache), Hits: w.hits, Misses: w.misses}
+}
+
+// ClearCache discards all cached walk distributions.
+func (w *Walker) ClearCache() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cache == nil {
+		return
+	}
+	w.cache = make(map[walkKey]*list.Element)
+	w.order = list.New()
+}

@@ -1,0 +1,152 @@
+// Package namematch implements personal-name parsing and the
+// candidate-entity generation rules of the paper's experimental
+// setting (Section 5.1): all author entities whose names satisfy one
+// of the predefined string-comparison rules are extracted as the
+// candidate entities for a mention. The rules are
+//
+//  1. the two names match exactly;
+//  2. the two names share first and last name, and either one of them
+//     has no middle name (Richard Muntz ↔ Richard R. Muntz), or one
+//     middle name is the initial of the other (Michael J. Jordan ↔
+//     Michael Jeffrey Jordan).
+//
+// DBLP-style disambiguation suffixes — a four-digit number appended to
+// an ambiguous name, as in "Wei Wang 0010" — are stripped before
+// comparison, mirroring how the paper's partially disambiguated DBLP
+// network represents distinct authors sharing one surface name.
+package namematch
+
+import (
+	"strings"
+)
+
+// Name is a parsed personal name.
+type Name struct {
+	// First, Middle and Last are the lowercase name parts. Middle may
+	// be empty; multi-token middles are joined by spaces.
+	First, Middle, Last string
+}
+
+// Parse splits a personal name into first/middle/last parts. Both the
+// "First [Middle...] Last" convention of DBLP author records and the
+// citation-style "Last, First [Middle...]" form are accepted. A
+// trailing all-digit disambiguation token is dropped. Periods after
+// initials are ignored. A single-token name parses as a last name
+// only.
+func Parse(name string) Name {
+	// Strip the DBLP disambiguation suffix before any rearrangement,
+	// so "Wang, Wei 0003" loses the suffix rather than keeping it as
+	// a middle token.
+	if all := strings.Fields(name); len(all) > 1 && isDigits(all[len(all)-1]) {
+		name = strings.Join(all[:len(all)-1], " ")
+	}
+	if comma := strings.Index(name, ","); comma >= 0 {
+		last := strings.TrimSpace(name[:comma])
+		rest := strings.TrimSpace(name[comma+1:])
+		if last != "" && rest != "" {
+			name = rest + " " + last
+		} else {
+			name = last + rest
+		}
+	}
+	fields := strings.Fields(name)
+	// Strip a DBLP disambiguation suffix such as "0010".
+	if n := len(fields); n > 0 && isDigits(fields[n-1]) {
+		fields = fields[:n-1]
+	}
+	for i, f := range fields {
+		fields[i] = strings.ToLower(strings.TrimRight(f, "."))
+	}
+	switch len(fields) {
+	case 0:
+		return Name{}
+	case 1:
+		return Name{Last: fields[0]}
+	case 2:
+		return Name{First: fields[0], Last: fields[1]}
+	default:
+		return Name{
+			First:  fields[0],
+			Middle: strings.Join(fields[1:len(fields)-1], " "),
+			Last:   fields[len(fields)-1],
+		}
+	}
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns the (first, last) blocking key used to index candidate
+// entities. Names that can never satisfy the matching rules have
+// different keys.
+func (n Name) Key() string { return n.First + "\x00" + n.Last }
+
+// IsEmpty reports whether the name has no parts at all.
+func (n Name) IsEmpty() bool {
+	return n.First == "" && n.Middle == "" && n.Last == ""
+}
+
+// Matches reports whether two parsed names refer to compatible
+// surface forms under the paper's rules.
+func (n Name) Matches(o Name) bool {
+	if n.First != o.First || n.Last != o.Last {
+		return false
+	}
+	if n.Middle == o.Middle {
+		return true // rule 1: exact match
+	}
+	if n.Middle == "" || o.Middle == "" {
+		return true // rule 2a: one name has no middle name
+	}
+	return initialOf(n.Middle, o.Middle) || initialOf(o.Middle, n.Middle)
+}
+
+// MatchesLoose extends Matches with first-name-initial matching:
+// "W. Wang" is compatible with "Wei Wang". The last names must still
+// match exactly, and the middle-name rules still apply. Looser
+// matching raises candidate recall (fewer missed true entities) at
+// the cost of larger candidate sets, so it is a separate opt-in.
+func (n Name) MatchesLoose(o Name) bool {
+	if n.Matches(o) {
+		return true
+	}
+	if n.Last != o.Last {
+		return false
+	}
+	if !initialOf(n.First, o.First) && !initialOf(o.First, n.First) {
+		return false
+	}
+	if n.Middle == o.Middle || n.Middle == "" || o.Middle == "" {
+		return true
+	}
+	return initialOf(n.Middle, o.Middle) || initialOf(o.Middle, n.Middle)
+}
+
+// initialOf reports whether a is the initialised form of b: each token
+// of a is a single letter equal to the first letter of the
+// corresponding token of b (allowing b's token to also be an initial).
+func initialOf(a, b string) bool {
+	at := strings.Fields(a)
+	bt := strings.Fields(b)
+	if len(at) != len(bt) {
+		return false
+	}
+	for i := range at {
+		if len(at[i]) != 1 {
+			return false
+		}
+		if at[i][0] != bt[i][0] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"shine/internal/hin"
+)
+
+// starDBLP builds a graph where one author ("hub") writes many papers
+// and another ("leaf") writes one, so the hub must outrank the leaf.
+func starDBLP(t testing.TB, hubPapers int) (*hin.DBLPSchema, *hin.Graph, hin.ObjectID, hin.ObjectID) {
+	t.Helper()
+	d := hin.NewDBLPSchema()
+	b := hin.NewBuilder(d.Schema)
+	hub := b.MustAddObject(d.Author, "Hub Author")
+	leaf := b.MustAddObject(d.Author, "Leaf Author")
+	v := b.MustAddObject(d.Venue, "SIGMOD")
+	for i := 0; i < hubPapers; i++ {
+		p := b.MustAddObject(d.Paper, "hp"+string(rune('a'+i)))
+		b.MustAddLink(d.Write, hub, p)
+		b.MustAddLink(d.Publish, v, p)
+	}
+	p := b.MustAddObject(d.Paper, "leafpaper")
+	b.MustAddLink(d.Write, leaf, p)
+	b.MustAddLink(d.Publish, v, p)
+	return d, b.Build(), hub, leaf
+}
+
+func TestComputeSumsToOne(t *testing.T) {
+	_, g, _, _ := starDBLP(t, 5)
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge: delta=%v after %d iterations", res.Delta, res.Iterations)
+	}
+	sum := 0.0
+	for _, s := range res.Scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("scores sum to %v, want 1", sum)
+	}
+	for v, s := range res.Scores {
+		if s <= 0 {
+			t.Errorf("object %d has non-positive score %v", v, s)
+		}
+	}
+}
+
+func TestProlificAuthorOutranksOnePaperAuthor(t *testing.T) {
+	_, g, hub, leaf := starDBLP(t, 10)
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if res.Scores[hub] <= res.Scores[leaf] {
+		t.Errorf("hub score %v <= leaf score %v; popularity model inverted",
+			res.Scores[hub], res.Scores[leaf])
+	}
+}
+
+func TestComputeHandlesDanglingObjects(t *testing.T) {
+	d := hin.NewDBLPSchema()
+	b := hin.NewBuilder(d.Schema)
+	b.MustAddObject(d.Author, "Isolated One")
+	a := b.MustAddObject(d.Author, "Connected")
+	p := b.MustAddObject(d.Paper, "P1")
+	b.MustAddLink(d.Write, a, p)
+	g := b.Build()
+
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	sum := 0.0
+	for _, s := range res.Scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("scores with dangling object sum to %v, want 1", sum)
+	}
+}
+
+func TestComputeLambdaOneIsUniform(t *testing.T) {
+	_, g, _, _ := starDBLP(t, 3)
+	opts := DefaultOptions()
+	opts.Lambda = 1 // pure initial vector, no propagation
+	res, err := Compute(g, opts)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	want := 1.0 / float64(g.NumObjects())
+	for v, s := range res.Scores {
+		if math.Abs(s-want) > 1e-9 {
+			t.Fatalf("lambda=1 score[%d] = %v, want uniform %v", v, s, want)
+		}
+	}
+}
+
+func TestComputeOptionValidation(t *testing.T) {
+	_, g, _, _ := starDBLP(t, 2)
+	bad := []Options{
+		{Lambda: -0.1, Tolerance: 1e-9, MaxIterations: 10},
+		{Lambda: 1.1, Tolerance: 1e-9, MaxIterations: 10},
+		{Lambda: 0.2, Tolerance: 0, MaxIterations: 10},
+		{Lambda: 0.2, Tolerance: 1e-9, MaxIterations: 0},
+	}
+	for i, o := range bad {
+		if _, err := Compute(g, o); err == nil {
+			t.Errorf("options %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestComputeEmptyGraph(t *testing.T) {
+	d := hin.NewDBLPSchema()
+	g := hin.NewBuilder(d.Schema).Build()
+	if _, err := Compute(g, DefaultOptions()); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestEntityPopularityNormalisesOverEntityType(t *testing.T) {
+	d, g, hub, leaf := starDBLP(t, 6)
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	pop, err := EntityPopularity(g, res.Scores, d.Author)
+	if err != nil {
+		t.Fatalf("EntityPopularity: %v", err)
+	}
+	if len(pop) != 2 {
+		t.Fatalf("popularity over %d entities, want 2", len(pop))
+	}
+	sum := pop[hub] + pop[leaf]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("entity popularity sums to %v, want 1", sum)
+	}
+	if pop[hub] <= pop[leaf] {
+		t.Errorf("hub popularity %v <= leaf %v", pop[hub], pop[leaf])
+	}
+}
+
+func TestEntityPopularityErrors(t *testing.T) {
+	d, g, _, _ := starDBLP(t, 2)
+	if _, err := EntityPopularity(g, []float64{1, 2}, d.Author); err == nil {
+		t.Error("mismatched score length accepted")
+	}
+	res, _ := Compute(g, DefaultOptions())
+	// DBLP schema has a term type with no objects in this graph.
+	if _, err := EntityPopularity(g, res.Scores, d.Term); err == nil {
+		t.Error("empty entity type accepted")
+	}
+}
+
+func TestEntityPopularityFallsBackToUniformOnZeroMass(t *testing.T) {
+	d := hin.NewDBLPSchema()
+	b := hin.NewBuilder(d.Schema)
+	a1 := b.MustAddObject(d.Author, "A1")
+	a2 := b.MustAddObject(d.Author, "A2")
+	g := b.Build()
+	scores := make([]float64, g.NumObjects()) // all zero
+	pop, err := EntityPopularity(g, scores, d.Author)
+	if err != nil {
+		t.Fatalf("EntityPopularity: %v", err)
+	}
+	if pop[a1] != 0.5 || pop[a2] != 0.5 {
+		t.Errorf("zero-mass fallback = %v, want uniform", pop)
+	}
+}
+
+func TestUniformPopularity(t *testing.T) {
+	d, g, hub, leaf := starDBLP(t, 4)
+	pop, err := UniformPopularity(g, d.Author)
+	if err != nil {
+		t.Fatalf("UniformPopularity: %v", err)
+	}
+	if pop[hub] != 0.5 || pop[leaf] != 0.5 {
+		t.Errorf("uniform popularity = %v", pop)
+	}
+	if _, err := UniformPopularity(g, d.Term); err == nil {
+		t.Error("empty entity type accepted")
+	}
+}
+
+func TestMoreIterationsReduceDelta(t *testing.T) {
+	_, g, _, _ := starDBLP(t, 8)
+	short := DefaultOptions()
+	short.MaxIterations = 2
+	short.Tolerance = 1e-300 // force exactly MaxIterations
+	long := short
+	long.MaxIterations = 30
+
+	rs, err := Compute(g, short)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	rl, err := Compute(g, long)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if rl.Delta >= rs.Delta {
+		t.Errorf("delta after 30 iters (%v) not below delta after 2 (%v)", rl.Delta, rs.Delta)
+	}
+}

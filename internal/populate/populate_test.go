@@ -1,0 +1,139 @@
+package populate
+
+import (
+	"testing"
+
+	"shine/internal/hin"
+)
+
+func baseGraph(t testing.TB) (*hin.DBLPSchema, *hin.Graph, hin.ObjectID) {
+	t.Helper()
+	d := hin.NewDBLPSchema()
+	b := hin.NewBuilder(d.Schema)
+	wei := b.MustAddObject(d.Author, "Wei Wang 0001")
+	p := b.MustAddObject(d.Paper, "p1")
+	b.MustAddLink(d.Write, wei, p)
+	return d, b.Build(), wei
+}
+
+func TestEnricherAddsNewTypeRelationAndFact(t *testing.T) {
+	d, g, wei := baseGraph(t)
+	e := NewEnricher(g)
+
+	org, err := e.EnsureType("organization", "ORG")
+	if err != nil {
+		t.Fatalf("EnsureType: %v", err)
+	}
+	rel, err := e.EnsureRelation("isAffiliatedWith", "hasMember", d.Author, org)
+	if err != nil {
+		t.Fatalf("EnsureRelation: %v", err)
+	}
+	if err := e.Add(Fact{Relation: rel, Subject: wei, ObjectName: "UCLA"}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if e.Facts() != 1 {
+		t.Errorf("Facts = %d", e.Facts())
+	}
+	g2, err := e.Graph()
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	ucla, ok := g2.Lookup(org, "UCLA")
+	if !ok {
+		t.Fatal("UCLA object missing from enriched graph")
+	}
+	got := g2.Neighbors(rel, wei)
+	if len(got) != 1 || got[0] != ucla {
+		t.Errorf("affiliation neighbors = %v", got)
+	}
+	// Inverse derived automatically.
+	inv := g2.Schema().Inverse(rel)
+	if back := g2.Neighbors(inv, ucla); len(back) != 1 || back[0] != wei {
+		t.Errorf("inverse neighbors = %v", back)
+	}
+	// Original links preserved.
+	if g2.Degree(d.Write, wei) != 1 {
+		t.Error("original write link lost")
+	}
+}
+
+func TestEnsureTypeAndRelationIdempotent(t *testing.T) {
+	d, g, _ := baseGraph(t)
+	e := NewEnricher(g)
+	org1, err := e.EnsureType("organization", "ORG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	org2, err := e.EnsureType("organization", "XX") // abbrev ignored for existing
+	if err != nil || org1 != org2 {
+		t.Errorf("EnsureType not idempotent: %v, %d vs %d", err, org1, org2)
+	}
+	r1, err := e.EnsureRelation("isAffiliatedWith", "hasMember", d.Author, org1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.EnsureRelation("isAffiliatedWith", "", d.Author, org1)
+	if err != nil || r1 != r2 {
+		t.Errorf("EnsureRelation not idempotent: %v, %d vs %d", err, r1, r2)
+	}
+	// Existing relation with conflicting types is rejected.
+	if _, err := e.EnsureRelation("isAffiliatedWith", "", d.Paper, org1); err == nil {
+		t.Error("type-conflicting EnsureRelation accepted")
+	}
+}
+
+func TestAddFactToExistingObject(t *testing.T) {
+	d, g, wei := baseGraph(t)
+	e := NewEnricher(g)
+	// Reuse an existing relation type: add a write link to an
+	// existing paper by name.
+	if err := e.Add(Fact{Relation: d.Write, Subject: wei, ObjectName: "p1"}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	g2, err := e.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper was not duplicated; the link multiplicity grew.
+	if g2.NumObjects() != g.NumObjects() {
+		t.Errorf("object count changed: %d vs %d", g2.NumObjects(), g.NumObjects())
+	}
+	if g2.Degree(d.Write, wei) != 2 {
+		t.Errorf("write degree = %d, want 2", g2.Degree(d.Write, wei))
+	}
+}
+
+func TestAddFactRejectsBadSubject(t *testing.T) {
+	d, g, _ := baseGraph(t)
+	e := NewEnricher(g)
+	// Subject of the wrong type for the relation.
+	paper, _ := g.Lookup(d.Paper, "p1")
+	if err := e.Add(Fact{Relation: d.Write, Subject: paper, ObjectName: "p1"}); err == nil {
+		t.Error("wrong-typed subject accepted")
+	}
+}
+
+func TestEnricherMultipleBuilds(t *testing.T) {
+	d, g, wei := baseGraph(t)
+	e := NewEnricher(g)
+	org, _ := e.EnsureType("organization", "ORG")
+	rel, _ := e.EnsureRelation("isAffiliatedWith", "hasMember", d.Author, org)
+
+	if err := e.Add(Fact{Relation: rel, Subject: wei, ObjectName: "UCLA"}); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := e.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(Fact{Relation: rel, Subject: wei, ObjectName: "Tsinghua"}); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := e.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Degree(rel, wei) != 1 || g2.Degree(rel, wei) != 2 {
+		t.Errorf("degrees = %d, %d; want 1, 2", g1.Degree(rel, wei), g2.Degree(rel, wei))
+	}
+}

@@ -1,0 +1,414 @@
+// Package server exposes a trained SHINE model over HTTP — the
+// serving surface a deployment of the paper's system needs: linking
+// single mentions, annotating raw text, explaining decisions and
+// inspecting entities. JSON in, JSON out, stdlib only.
+//
+// Endpoints:
+//
+//	POST /v1/link        {"mention": "...", "text": "..."}      -> linking result
+//	POST /v1/annotate    {"text": "..."}                        -> annotations
+//	POST /v1/explain     {"mention": "...", "text": "..."}      -> evidence breakdown
+//	GET  /v1/candidates?mention=NAME[&loose=1]                  -> candidate entities
+//	GET  /v1/entity?id=N                                        -> entity card
+//	GET  /v1/healthz                                            -> liveness
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"shine/internal/annotate"
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/namematch"
+	"shine/internal/shine"
+)
+
+// Server wires a model and its ingestion pipeline into an
+// http.Handler. It is safe for concurrent requests.
+type Server struct {
+	model     *shine.Model
+	ingester  *corpus.Ingester
+	annotator *annotate.Annotator
+	mux       *http.ServeMux
+	// looseIndex answers /v1/candidates with first-initial matching.
+	looseIndex *namematch.Index
+	// maxBodyBytes bounds request bodies; documents are pages, not
+	// uploads.
+	maxBodyBytes int64
+	// nilPrior, when positive, makes /v1/link NIL-aware.
+	nilPrior float64
+	// logger, when set, records one line per request.
+	logger *log.Logger
+}
+
+// Options configures the server.
+type Options struct {
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// NILPrior, when positive, enables NIL detection on /v1/link with
+	// this prior.
+	NILPrior float64
+	// MinPosterior filters /v1/annotate results.
+	MinPosterior float64
+	// Logger, when set, logs one line per request (method, path,
+	// status, duration).
+	Logger *log.Logger
+	// EntityType is the type whose names /v1/candidates searches. The
+	// zero value uses the type the model's meta-paths start at.
+	EntityType hin.TypeID
+}
+
+// New builds a server over a (typically trained) model.
+func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, error) {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	if opts.NILPrior < 0 || opts.NILPrior >= 1 {
+		return nil, fmt.Errorf("server: NIL prior %v outside [0, 1)", opts.NILPrior)
+	}
+	ing, err := corpus.NewIngester(m.Graph(), ingestCfg)
+	if err != nil {
+		return nil, err
+	}
+	ann, err := annotate.New(m, ingestCfg, annotate.Options{MinPosterior: opts.MinPosterior})
+	if err != nil {
+		return nil, err
+	}
+	entityType := opts.EntityType
+	if entityType <= 0 {
+		paths := m.Paths()
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("server: model has no meta-paths to infer the entity type from")
+		}
+		entityType = paths[0].StartType(m.Graph().Schema())
+	}
+	idx, err := namematch.BuildIndex(m.Graph(), entityType)
+	if err != nil {
+		return nil, fmt.Errorf("server: indexing entity names: %w", err)
+	}
+	s := &Server{
+		model:        m,
+		ingester:     ing,
+		annotator:    ann,
+		mux:          http.NewServeMux(),
+		looseIndex:   idx,
+		maxBodyBytes: opts.MaxBodyBytes,
+		nilPrior:     opts.NILPrior,
+		logger:       opts.Logger,
+	}
+	s.mux.HandleFunc("/v1/link", s.handleLink)
+	s.mux.HandleFunc("/v1/annotate", s.handleAnnotate)
+	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	s.mux.HandleFunc("/v1/candidates", s.handleCandidates)
+	s.mux.HandleFunc("/v1/entity", s.handleEntity)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler, logging one line per request
+// when a logger is configured.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.logger == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	s.logger.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+}
+
+// statusWriter records the response status for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// linkRequest is the body of /v1/link and /v1/explain.
+type linkRequest struct {
+	// Mention is the surface form to resolve.
+	Mention string `json:"mention"`
+	// Text is the document context containing the mention.
+	Text string `json:"text"`
+}
+
+// candidateJSON is one scored candidate; a null entity is NIL.
+type candidateJSON struct {
+	Entity    *int32  `json:"entity"`
+	Name      string  `json:"name,omitempty"`
+	Posterior float64 `json:"posterior"`
+}
+
+// linkResponse is the body returned by /v1/link.
+type linkResponse struct {
+	Entity     *int32          `json:"entity"`
+	Name       string          `json:"name,omitempty"`
+	Candidates []candidateJSON `json:"candidates"`
+}
+
+func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
+	var req linkRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Mention == "" {
+		httpError(w, http.StatusBadRequest, "mention is required")
+		return
+	}
+	doc := s.ingester.Ingest("request", req.Mention, hin.NoObject, req.Text)
+
+	var res shine.Result
+	var err error
+	if s.nilPrior > 0 {
+		res, err = s.model.LinkNIL(doc, s.nilPrior)
+	} else {
+		res, err = s.model.Link(doc)
+	}
+	if err != nil {
+		if errors.Is(err, shine.ErrNoCandidates) {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := linkResponse{Entity: entityID(res.Entity), Name: s.entityName(res.Entity)}
+	for _, cs := range res.Candidates {
+		resp.Candidates = append(resp.Candidates, candidateJSON{
+			Entity:    entityID(cs.Entity),
+			Name:      s.entityName(cs.Entity),
+			Posterior: cs.Posterior,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// annotateRequest is the body of /v1/annotate.
+type annotateRequest struct {
+	Text string `json:"text"`
+}
+
+type annotationJSON struct {
+	Start      int     `json:"start"`
+	End        int     `json:"end"`
+	Surface    string  `json:"surface"`
+	Entity     int32   `json:"entity"`
+	Name       string  `json:"name"`
+	Posterior  float64 `json:"posterior"`
+	Candidates int     `json:"candidates"`
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var req annotateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Text == "" {
+		httpError(w, http.StatusBadRequest, "text is required")
+		return
+	}
+	anns, err := s.annotator.Annotate("request", req.Text)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	out := make([]annotationJSON, 0, len(anns))
+	for _, an := range anns {
+		out = append(out, annotationJSON{
+			Start: an.Start, End: an.End, Surface: an.Surface,
+			Entity: int32(an.Entity), Name: an.EntityName,
+			Posterior: an.Posterior, Candidates: an.Candidates,
+		})
+	}
+	writeJSON(w, struct {
+		Annotations []annotationJSON `json:"annotations"`
+	}{out})
+}
+
+// explainResponse is the body of /v1/explain.
+type explainResponse struct {
+	Entity            *int32               `json:"entity"`
+	Name              string               `json:"name,omitempty"`
+	RunnerUp          *int32               `json:"runnerUp"`
+	Margin            float64              `json:"margin"`
+	PopularityLogOdds float64              `json:"popularityLogOdds"`
+	Objects           []objectContribution `json:"objects"`
+}
+
+type objectContribution struct {
+	Name    string  `json:"name"`
+	Type    string  `json:"type"`
+	Count   int     `json:"count"`
+	LogOdds float64 `json:"logOdds"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req linkRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Mention == "" {
+		httpError(w, http.StatusBadRequest, "mention is required")
+		return
+	}
+	doc := s.ingester.Ingest("request", req.Mention, hin.NoObject, req.Text)
+	ex, err := s.model.Explain(doc)
+	if err != nil {
+		if errors.Is(err, shine.ErrNoCandidates) {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := explainResponse{
+		Entity:            entityID(ex.Entity),
+		Name:              s.entityName(ex.Entity),
+		RunnerUp:          entityID(ex.RunnerUp),
+		Margin:            ex.Margin,
+		PopularityLogOdds: ex.PopularityLogOdds,
+	}
+	for _, oc := range ex.Objects {
+		resp.Objects = append(resp.Objects, objectContribution{
+			Name: oc.Name, Type: oc.Type, Count: oc.Count, LogOdds: oc.LogOdds,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// candidatesResponse is the body of /v1/candidates.
+type candidatesResponse struct {
+	Mention    string           `json:"mention"`
+	Loose      bool             `json:"loose"`
+	Candidates []entityResponse `json:"candidates"`
+}
+
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	mention := r.URL.Query().Get("mention")
+	if mention == "" {
+		httpError(w, http.StatusBadRequest, "mention is required")
+		return
+	}
+	loose := r.URL.Query().Get("loose") == "1"
+	var cands []hin.ObjectID
+	if loose {
+		cands = s.looseIndex.LooseCandidates(mention)
+	} else {
+		cands = s.looseIndex.Candidates(mention)
+	}
+	g := s.model.Graph()
+	resp := candidatesResponse{Mention: mention, Loose: loose, Candidates: []entityResponse{}}
+	for _, e := range cands {
+		resp.Candidates = append(resp.Candidates, entityResponse{
+			Entity:     int32(e),
+			Name:       g.Name(e),
+			Type:       g.Schema().Type(g.TypeOf(e)).Name,
+			Popularity: s.model.Popularity(e),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// entityResponse is the body of /v1/entity.
+type entityResponse struct {
+	Entity     int32   `json:"entity"`
+	Name       string  `json:"name"`
+	Type       string  `json:"type"`
+	Popularity float64 `json:"popularity"`
+}
+
+func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	var id int32
+	if _, err := fmt.Sscanf(r.URL.Query().Get("id"), "%d", &id); err != nil {
+		httpError(w, http.StatusBadRequest, "id must be an integer")
+		return
+	}
+	g := s.model.Graph()
+	if id < 0 || int(id) >= g.NumObjects() {
+		httpError(w, http.StatusNotFound, "no such object")
+		return
+	}
+	obj := hin.ObjectID(id)
+	writeJSON(w, entityResponse{
+		Entity:     id,
+		Name:       g.Name(obj),
+		Type:       g.Schema().Type(g.TypeOf(obj)).Name,
+		Popularity: s.model.Popularity(obj),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Status  string `json:"status"`
+		Objects int    `json:"objects"`
+	}{"ok", s.model.Graph().NumObjects()})
+}
+
+// ---------------------------------------------------------------- helpers
+
+// readJSON decodes a POST body, writing the error response itself on
+// failure.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, into interface{}) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// entityID renders an entity as a nullable JSON id (NIL -> null).
+func entityID(e hin.ObjectID) *int32 {
+	if e == hin.NoObject {
+		return nil
+	}
+	id := int32(e)
+	return &id
+}
+
+func (s *Server) entityName(e hin.ObjectID) string {
+	if e == hin.NoObject {
+		return ""
+	}
+	return s.model.Graph().Name(e)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are out; nothing more to do than log-by-status.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}

@@ -1,0 +1,139 @@
+// Package shine implements the paper's probabilistic entity linking
+// model: P(m, d, e) = η · P(e) · P(d|e), combining the entity
+// popularity model (PageRank over the whole network, Section 3.1)
+// with the entity object model (meta-path constrained random walk
+// mixtures smoothed by a generic corpus model, Section 3.2), and the
+// unsupervised EM learning algorithm for the meta-path weights
+// (Section 4, Algorithm 1).
+package shine
+
+import (
+	"fmt"
+
+	"shine/internal/pagerank"
+)
+
+// PopularityMode selects the entity popularity model P(e).
+type PopularityMode int
+
+const (
+	// PopularityPageRank is the paper's entity popularity model
+	// (Formula 7): PageRank scores normalised over the entity set.
+	PopularityPageRank PopularityMode = iota
+	// PopularityUniform is the uniform model P(e) = 1/|E| (Formula
+	// 5), used by the paper's "-eom" ablations.
+	PopularityUniform
+)
+
+// String names the mode for logs and flags.
+func (m PopularityMode) String() string {
+	switch m {
+	case PopularityPageRank:
+		return "pagerank"
+	case PopularityUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("PopularityMode(%d)", int(m))
+	}
+}
+
+// Config holds all model and learning hyper-parameters. Start from
+// DefaultConfig; the zero value is invalid.
+type Config struct {
+	// Theta balances the entity-specific object model against the
+	// generic object model (Formula 9). The paper sets θ = 0.2.
+	Theta float64
+	// Eta is the constant P(m|e) (Formula 4). It cancels in every
+	// argmax and posterior, but is kept so reported joint scores match
+	// the paper's formulation.
+	Eta float64
+	// Popularity selects the P(e) model.
+	Popularity PopularityMode
+	// PageRank configures the popularity computation (λ = 0.2 in the
+	// paper).
+	PageRank pagerank.Options
+
+	// LearningRate is the gradient ascent step α (Formula 23). The
+	// paper uses a fixed 3e-6 tuned to its corpus; a non-positive
+	// value selects backtracking line search, which adapts the step to
+	// guarantee the objective never decreases (the property the paper
+	// tunes α for).
+	LearningRate float64
+	// MaxEMIterations bounds the outer EM loop.
+	MaxEMIterations int
+	// MaxGDIterations bounds the inner gradient ascent loop per
+	// M-step.
+	MaxGDIterations int
+	// EMTolerance stops the EM loop when the L1 change of the weight
+	// vector falls below it ("until the meta-path weight vector
+	// stabilizes within some threshold").
+	EMTolerance float64
+	// GDTolerance stops the inner loop when the relative objective
+	// improvement falls below it.
+	GDTolerance float64
+	// SGDBatch, when positive, switches the M-step to stochastic
+	// gradient ascent over batches of this many mentions — the
+	// large-scale variant Section 4 suggests. Zero uses full batches.
+	SGDBatch int
+
+	// WalkCacheSize bounds the meta-path walk cache.
+	WalkCacheSize int
+	// WalkPruning, when positive, truncates each intermediate random
+	// walk distribution to its largest WalkPruning entries — an
+	// approximation that bounds walk cost on networks with hub
+	// objects. Zero computes exact walks (the paper's setting).
+	WalkPruning int
+	// ProbFloor is the smallest probability used inside logarithms,
+	// guarding against documents containing objects unseen in the
+	// generic model.
+	ProbFloor float64
+}
+
+// DefaultConfig returns the paper's experimental configuration:
+// θ = 0.2, PageRank popularity with λ = 0.2, backtracking gradient
+// ascent.
+func DefaultConfig() Config {
+	return Config{
+		Theta:           0.2,
+		Eta:             1.0,
+		Popularity:      PopularityPageRank,
+		PageRank:        pagerank.DefaultOptions(),
+		LearningRate:    0, // backtracking
+		MaxEMIterations: 20,
+		MaxGDIterations: 50,
+		EMTolerance:     1e-4,
+		GDTolerance:     1e-7,
+		SGDBatch:        0,
+		WalkCacheSize:   metapathCacheDefault,
+		ProbFloor:       1e-12,
+	}
+}
+
+const metapathCacheDefault = 65536
+
+// Validate reports the first configuration problem, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Theta <= 0 || c.Theta >= 1:
+		return fmt.Errorf("shine: theta %v outside (0, 1)", c.Theta)
+	case c.Eta <= 0 || c.Eta > 1:
+		return fmt.Errorf("shine: eta %v outside (0, 1]", c.Eta)
+	case c.Popularity != PopularityPageRank && c.Popularity != PopularityUniform:
+		return fmt.Errorf("shine: unknown popularity mode %d", c.Popularity)
+	case c.MaxEMIterations < 1:
+		return fmt.Errorf("shine: MaxEMIterations %d must be positive", c.MaxEMIterations)
+	case c.MaxGDIterations < 1:
+		return fmt.Errorf("shine: MaxGDIterations %d must be positive", c.MaxGDIterations)
+	case c.EMTolerance <= 0:
+		return fmt.Errorf("shine: EMTolerance %v must be positive", c.EMTolerance)
+	case c.GDTolerance <= 0:
+		return fmt.Errorf("shine: GDTolerance %v must be positive", c.GDTolerance)
+	case c.SGDBatch < 0:
+		return fmt.Errorf("shine: SGDBatch %d negative", c.SGDBatch)
+	case c.WalkPruning < 0:
+		return fmt.Errorf("shine: WalkPruning %d negative", c.WalkPruning)
+	case c.ProbFloor <= 0 || c.ProbFloor >= 1e-3:
+		return fmt.Errorf("shine: ProbFloor %v outside (0, 1e-3)", c.ProbFloor)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package shine
+
+import (
+	"math"
+	"testing"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+)
+
+// corpusDoc builds an empty document with the given mention.
+func corpusDoc(id, mention string) *corpus.Document {
+	return corpus.NewDocument(id, mention, hin.NoObject, nil)
+}
+
+func TestLearnImprovesObjectiveAndConverges(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	stats, err := m.Learn(f.corpus)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if stats.EMIterations < 1 {
+		t.Fatal("no EM iterations run")
+	}
+	if len(stats.Objective) != stats.EMIterations {
+		t.Fatalf("objective trace %d entries for %d iterations", len(stats.Objective), stats.EMIterations)
+	}
+	// Under backtracking line search, every M-step must improve (or
+	// at worst preserve) the objective for its own posterior.
+	for i, gain := range stats.MStepGain {
+		if gain < -1e-9 {
+			t.Errorf("M-step %d decreased the objective by %v", i, -gain)
+		}
+	}
+	if !stats.Converged {
+		t.Error("EM did not converge on a 2-mention corpus")
+	}
+	if stats.SkippedMentions != 0 {
+		t.Errorf("SkippedMentions = %d", stats.SkippedMentions)
+	}
+}
+
+func TestLearnedWeightsOnSimplex(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	if _, err := m.Learn(f.corpus); err != nil {
+		t.Fatal(err)
+	}
+	w := m.Weights()
+	sum := 0.0
+	for _, x := range w {
+		if x < 0 {
+			t.Errorf("negative weight %v", x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+func TestLearnImprovesLinking(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	if _, err := m.Learn(f.corpus); err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range f.corpus.Docs {
+		r, err := m.Link(doc)
+		if err != nil {
+			t.Fatalf("Link(%s): %v", doc.ID, err)
+		}
+		if r.Entity != doc.Gold {
+			t.Errorf("doc %s linked to %s, want %s",
+				doc.ID, f.g.Name(r.Entity), f.g.Name(doc.Gold))
+		}
+	}
+}
+
+func TestLearnFixedLearningRate(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, func(c *Config) {
+		// A step small relative to this tiny corpus's gradient scale.
+		c.LearningRate = 1e-4
+		c.MaxGDIterations = 200
+	})
+	stats, err := m.Learn(f.corpus)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if stats.GDIterations == 0 {
+		t.Fatal("fixed-rate mode ran no gradient iterations")
+	}
+	// Fixed-step projected ascent may oscillate by tiny amounts once
+	// it reaches the simplex-constrained optimum (the projection
+	// renormalises every step), but it must never move materially
+	// downhill.
+	for i, gain := range stats.MStepGain {
+		if gain < -0.01 {
+			t.Errorf("fixed-rate M-step %d decreased the objective by %v", i, -gain)
+		}
+	}
+	// Linking still resolves both documents after fixed-rate learning.
+	for _, doc := range f.corpus.Docs {
+		r, err := m.Link(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Entity != doc.Gold {
+			t.Errorf("doc %s mislinked after fixed-rate learning", doc.ID)
+		}
+	}
+}
+
+func TestLearnSGDMode(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, func(c *Config) {
+		c.SGDBatch = 1
+	})
+	if _, err := m.Learn(f.corpus); err != nil {
+		t.Fatalf("Learn with SGD: %v", err)
+	}
+	w := m.Weights()
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("SGD weights sum to %v", sum)
+	}
+}
+
+func TestLearnSkipsUnlinkableMentions(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	// Add a document about a name outside the network.
+	c := *f.corpus
+	c.Add(corpusDoc("zz", "Nobody Known"))
+	stats, err := m.Learn(&c)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if stats.SkippedMentions != 1 {
+		t.Errorf("SkippedMentions = %d, want 1", stats.SkippedMentions)
+	}
+}
+
+func TestLearnFailsOnFullyUnlinkableCorpus(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	var c = *f.corpus
+	c.Docs = nil
+	c.Add(corpusDoc("zz", "Nobody Known"))
+	if _, err := m.Learn(&c); err == nil {
+		t.Error("corpus with zero linkable mentions accepted")
+	}
+}
+
+func TestLearnIsDeterministic(t *testing.T) {
+	f := newFixture(t)
+	m1 := newModel(t, f, nil)
+	m2 := newModel(t, f, nil)
+	if _, err := m1.Learn(f.corpus); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Learn(f.corpus); err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := m1.Weights(), m2.Weights()
+	for i := range w1 {
+		if math.Abs(w1[i]-w2[i]) > 1e-12 {
+			t.Fatalf("weights differ at %d: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+}
+
+func TestProject(t *testing.T) {
+	w := []float64{-1, 2, 2}
+	project(w)
+	if w[0] != 0 || math.Abs(w[1]-0.5) > 1e-12 || math.Abs(w[2]-0.5) > 1e-12 {
+		t.Errorf("project = %v", w)
+	}
+	zero := []float64{0, 0}
+	project(zero)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("project(0) = %v", zero)
+	}
+	neg := []float64{-1, -2}
+	project(neg)
+	if neg[0] != 0 || neg[1] != 0 {
+		t.Errorf("project(all negative) = %v", neg)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := softmax([]float64{math.Log(1), math.Log(3)})
+	if math.Abs(p[0]-0.25) > 1e-12 || math.Abs(p[1]-0.75) > 1e-12 {
+		t.Errorf("softmax = %v", p)
+	}
+	// Extreme log gaps must not produce NaN.
+	p = softmax([]float64{-1e9, 0})
+	if math.IsNaN(p[0]) || math.Abs(p[1]-1) > 1e-12 {
+		t.Errorf("softmax with extreme gap = %v", p)
+	}
+}
+
+func TestLearnOrderInvariant(t *testing.T) {
+	// Full-batch EM sums over mentions; document order must not
+	// change the learned weights.
+	f := newFixture(t)
+	m1 := newModel(t, f, nil)
+	if _, err := m1.Learn(f.corpus); err != nil {
+		t.Fatal(err)
+	}
+	reversed := &corpus.Corpus{}
+	for i := len(f.corpus.Docs) - 1; i >= 0; i-- {
+		reversed.Add(f.corpus.Docs[i])
+	}
+	m2 := newModel(t, f, nil)
+	if _, err := m2.Learn(reversed); err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := m1.Weights(), m2.Weights()
+	for i := range w1 {
+		if math.Abs(w1[i]-w2[i]) > 1e-9 {
+			t.Fatalf("weights depend on document order: %v vs %v at %d", w1[i], w2[i], i)
+		}
+	}
+}
+
+func TestEtaDoesNotAffectDecisions(t *testing.T) {
+	// η is a constant factor of every joint score (Formula 4); the
+	// argmax and posteriors must be invariant to it.
+	f := newFixture(t)
+	m1 := newModel(t, f, nil)
+	m2 := newModel(t, f, func(c *Config) { c.Eta = 0.01 })
+	for _, doc := range f.corpus.Docs {
+		r1, err1 := m1.Link(doc)
+		r2, err2 := m2.Link(doc)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Link: %v, %v", err1, err2)
+		}
+		if r1.Entity != r2.Entity {
+			t.Errorf("doc %s: eta changed the decision", doc.ID)
+		}
+		if math.Abs(r1.Candidates[0].Posterior-r2.Candidates[0].Posterior) > 1e-9 {
+			t.Errorf("doc %s: eta changed the posterior", doc.ID)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package shine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+)
+
+// Explanation breaks a linking decision down into the evidence that
+// produced it: the log-odds between the winning candidate and the
+// runner-up, attributed to the popularity prior and to each document
+// object. Positive contributions favour the winner. The decomposition
+// is exact:
+//
+//	PopularityLogOdds + Σ Objects[i].LogOdds
+//	  = ln P(m,d,winner) − ln P(m,d,runnerUp)
+type Explanation struct {
+	// Entity is the winning candidate; RunnerUp the second-best (or
+	// hin.NoObject when the mention had a single candidate).
+	Entity, RunnerUp hin.ObjectID
+	// Margin is the total log-odds between winner and runner-up.
+	Margin float64
+	// PopularityLogOdds is the share contributed by the entity
+	// popularity model P(e).
+	PopularityLogOdds float64
+	// Objects lists each document object's contribution, sorted by
+	// descending absolute log-odds (the most decisive evidence
+	// first).
+	Objects []ObjectContribution
+}
+
+// ObjectContribution is one document object's share of the log-odds.
+type ObjectContribution struct {
+	Object hin.ObjectID
+	// Name and Type describe the object.
+	Name, Type string
+	// Count is the object's occurrence count in the document.
+	Count int
+	// LogOdds is count · (ln P(v|winner) − ln P(v|runnerUp)).
+	LogOdds float64
+}
+
+// PathImportance is one meta-path's leave-one-out effect on a
+// linking decision.
+type PathImportance struct {
+	// Path is the meta-path notation.
+	Path string
+	// Weight is its current learned weight.
+	Weight float64
+	// MarginDrop is how much the winner's log-odds margin over the
+	// runner-up shrinks when this path is removed (its weight
+	// redistributed over the rest). Positive means the path supports
+	// the decision; negative means it argues against it.
+	MarginDrop float64
+}
+
+// ExplainPaths measures each meta-path's leave-one-out importance for
+// the document's linking decision: the complement of Explain's
+// object-level view, and the per-decision analogue of the global
+// learned weights (the paper's Section 5.5 analysis). The winner and
+// runner-up are fixed by the full model; paths are then removed one
+// at a time.
+func (m *Model) ExplainPaths(doc *corpus.Document) ([]PathImportance, error) {
+	cands := m.index.Candidates(doc.Mention)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoCandidates, doc.Mention)
+	}
+	md, err := m.prepareMention(doc, cands)
+	if err != nil {
+		return nil, err
+	}
+	logs := make([]float64, len(cands))
+	for i := range md.cands {
+		logs[i] = m.logJoint(md, i, m.weights)
+	}
+	win, run := 0, -1
+	for i := 1; i < len(cands); i++ {
+		if logs[i] > logs[win] {
+			win = i
+		}
+	}
+	for i := range cands {
+		if i != win && (run < 0 || logs[i] > logs[run]) {
+			run = i
+		}
+	}
+	out := make([]PathImportance, len(m.paths))
+	baseMargin := 0.0
+	if run >= 0 {
+		baseMargin = logs[win] - logs[run]
+	}
+	loo := make([]float64, len(m.weights))
+	for pi := range m.paths {
+		copy(loo, m.weights)
+		loo[pi] = 0
+		project(loo)
+		margin := 0.0
+		if run >= 0 {
+			margin = m.logJoint(md, win, loo) - m.logJoint(md, run, loo)
+		}
+		out[pi] = PathImportance{
+			Path:       m.paths[pi].String(),
+			Weight:     m.weights[pi],
+			MarginDrop: baseMargin - margin,
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].MarginDrop != out[b].MarginDrop {
+			return out[a].MarginDrop > out[b].MarginDrop
+		}
+		return out[a].Path < out[b].Path
+	})
+	return out, nil
+}
+
+// Explain links the document and decomposes the decision. It is the
+// production answer to "why did this mention link there?".
+func (m *Model) Explain(doc *corpus.Document) (Explanation, error) {
+	cands := m.index.Candidates(doc.Mention)
+	if len(cands) == 0 {
+		return Explanation{}, fmt.Errorf("%w: %q", ErrNoCandidates, doc.Mention)
+	}
+	md, err := m.prepareMention(doc, cands)
+	if err != nil {
+		return Explanation{}, err
+	}
+	logs := make([]float64, len(cands))
+	for i := range md.cands {
+		logs[i] = m.logJoint(md, i, m.weights)
+	}
+	// Identify winner and runner-up (Link's ordering: posterior desc,
+	// then ascending ID — identical to log-joint ordering).
+	win, run := 0, -1
+	for i := 1; i < len(cands); i++ {
+		if logs[i] > logs[win] {
+			win = i
+		}
+	}
+	for i := range cands {
+		if i == win {
+			continue
+		}
+		if run < 0 || logs[i] > logs[run] {
+			run = i
+		}
+	}
+
+	ex := Explanation{Entity: cands[win]}
+	if run < 0 {
+		ex.RunnerUp = hin.NoObject
+		return ex, nil
+	}
+	ex.RunnerUp = cands[run]
+	ex.Margin = logs[win] - logs[run]
+	ex.PopularityLogOdds = math.Log(math.Max(m.popularity[cands[win]], m.cfg.ProbFloor)) -
+		math.Log(math.Max(m.popularity[cands[run]], m.cfg.ProbFloor))
+
+	g := m.graph
+	theta := m.cfg.Theta
+	for oi, oc := range doc.Objects {
+		pv := func(ci int) float64 {
+			pe := 0.0
+			for pi := range m.weights {
+				pe += m.weights[pi] * md.cands[ci].pathProb[pi][oi]
+			}
+			return math.Max(theta*pe+(1-theta)*md.generic[oi], m.cfg.ProbFloor)
+		}
+		ex.Objects = append(ex.Objects, ObjectContribution{
+			Object:  oc.Object,
+			Name:    g.Name(oc.Object),
+			Type:    g.Schema().Type(g.TypeOf(oc.Object)).Abbrev,
+			Count:   oc.Count,
+			LogOdds: float64(oc.Count) * (math.Log(pv(win)) - math.Log(pv(run))),
+		})
+	}
+	sort.Slice(ex.Objects, func(a, b int) bool {
+		oa, ob := ex.Objects[a], ex.Objects[b]
+		if math.Abs(oa.LogOdds) != math.Abs(ob.LogOdds) {
+			return math.Abs(oa.LogOdds) > math.Abs(ob.LogOdds)
+		}
+		return oa.Object < ob.Object
+	})
+	return ex, nil
+}

@@ -1,0 +1,187 @@
+package shine
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/metapath"
+	"shine/internal/synth"
+)
+
+// integrationDataset builds a small but realistic dataset through the
+// full generator + ingestion pipeline.
+func integrationDataset(t testing.TB) *synth.Dataset {
+	t.Helper()
+	net := synth.DefaultDBLPConfig()
+	net.RegularAuthors = 300
+	net.AmbiguousGroups = 6
+	net.Topics = 4
+	doc := synth.DefaultDocConfig()
+	doc.NumDocs = 80
+	ds, err := synth.BuildDataset(net, doc)
+	if err != nil {
+		t.Fatalf("BuildDataset: %v", err)
+	}
+	return ds
+}
+
+func TestIntegrationFullPipelineAccuracy(t *testing.T) {
+	ds := integrationDataset(t)
+	d := ds.Data.Schema
+	m, err := New(ds.Data.Graph, d.Author, metapath.DBLPPaperPaths(d), ds.Corpus, DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Learn(ds.Corpus); err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	correct := 0
+	for _, doc := range ds.Corpus.Docs {
+		r, err := m.Link(doc)
+		if err != nil {
+			t.Fatalf("Link(%s): %v", doc.ID, err)
+		}
+		if r.Entity == doc.Gold {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(ds.Corpus.Len())
+	// Ambiguity groups average ~8 candidates; random guessing would
+	// sit near 0.2 even popularity-weighted. The learned model must be
+	// far above that.
+	if acc < 0.6 {
+		t.Errorf("end-to-end accuracy %.3f below 0.6 (%d/%d)", acc, correct, ds.Corpus.Len())
+	}
+}
+
+func TestIntegrationLearningShiftsWeights(t *testing.T) {
+	ds := integrationDataset(t)
+	d := ds.Data.Schema
+	m, err := New(ds.Data.Graph, d.Author, metapath.DBLPPaperPaths(d), ds.Corpus, DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Learn(ds.Corpus); err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	w := m.Weights()
+	uniform := 1.0 / float64(len(w))
+	maxDev := 0.0
+	for _, x := range w {
+		if dev := math.Abs(x - uniform); dev > maxDev {
+			maxDev = dev
+		}
+	}
+	if maxDev < 0.005 {
+		t.Errorf("learned weights barely deviate from uniform (max dev %v); EM learned nothing", maxDev)
+	}
+}
+
+func TestIntegrationGraphRoundTripPreservesLinking(t *testing.T) {
+	ds := integrationDataset(t)
+	d := ds.Data.Schema
+
+	var buf bytes.Buffer
+	if _, err := ds.Data.Graph.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	g2, err := hin.ReadGraph(&buf)
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	// Rebuild schema handles over the reloaded graph by name.
+	author, ok := g2.Schema().TypeByName("author")
+	if !ok {
+		t.Fatal("author type lost")
+	}
+	paths := make([]metapath.Path, 0, 10)
+	for _, p := range metapath.DBLPPaperPaths(d) {
+		// Re-parse over the reloaded schema.
+		paths = append(paths, metapath.MustParse(g2.Schema(), p.String()))
+	}
+
+	m1, err := New(ds.Data.Graph, d.Author, metapath.DBLPPaperPaths(d), ds.Corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(g2, author, paths, ds.Corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range ds.Corpus.Docs[:20] {
+		r1, err1 := m1.Link(doc)
+		r2, err2 := m2.Link(doc)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("doc %s: error mismatch %v vs %v", doc.ID, err1, err2)
+		}
+		if err1 == nil && r1.Entity != r2.Entity {
+			t.Errorf("doc %s links to %d before round trip, %d after", doc.ID, r1.Entity, r2.Entity)
+		}
+	}
+}
+
+func TestIntegrationIMDBSchemaGenerality(t *testing.T) {
+	cfg := synth.DefaultIMDBConfig()
+	cfg.RegularActors = 150
+	cfg.NumDocs = 40
+	data, err := synth.GenerateIMDB(cfg)
+	if err != nil {
+		t.Fatalf("GenerateIMDB: %v", err)
+	}
+	m, err := New(data.Graph, data.Schema.Actor, metapath.IMDBActorPaths(data.Schema), data.Corpus, DefaultConfig())
+	if err != nil {
+		t.Fatalf("New over IMDb schema: %v", err)
+	}
+	if _, err := m.Learn(data.Corpus); err != nil {
+		t.Fatalf("Learn over IMDb: %v", err)
+	}
+	correct := 0
+	for _, doc := range data.Corpus.Docs {
+		r, err := m.Link(doc)
+		if err != nil {
+			t.Fatalf("Link: %v", err)
+		}
+		if r.Entity == doc.Gold {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(data.Corpus.Len()); acc < 0.5 {
+		t.Errorf("IMDb actor linking accuracy %.3f below 0.5", acc)
+	}
+}
+
+func TestIntegrationSubsetAccuracyStable(t *testing.T) {
+	// Figure 4(b)'s robustness claim as an invariant: accuracy on a
+	// half corpus is within a reasonable band of the full corpus.
+	ds := integrationDataset(t)
+	d := ds.Data.Schema
+
+	evalOn := func(c *corpus.Corpus) float64 {
+		m, err := New(ds.Data.Graph, d.Author, metapath.DBLPPaperPaths(d), ds.Corpus, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Learn(c); err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for _, doc := range c.Docs {
+			if r, err := m.Link(doc); err == nil && r.Entity == doc.Gold {
+				correct++
+			}
+		}
+		return float64(correct) / float64(c.Len())
+	}
+	half, err := ds.Corpus.Subset(ds.Corpus.Len() / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := evalOn(ds.Corpus)
+	part := evalOn(half)
+	if math.Abs(full-part) > 0.2 {
+		t.Errorf("accuracy unstable across sizes: full %.3f vs half %.3f", full, part)
+	}
+}

@@ -1,0 +1,335 @@
+package shine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/metapath"
+	"shine/internal/namematch"
+	"shine/internal/pagerank"
+)
+
+// ErrNoCandidates is returned by Link when a mention's surface form
+// matches no entity in the network. The paper assumes the network
+// contains all mapping entities, so this signals a dataset problem
+// rather than a NIL prediction.
+var ErrNoCandidates = errors.New("shine: mention has no candidate entities")
+
+// Model is a SHINE entity linking model over a fixed network, entity
+// type and meta-path set. Construct with New, optionally learn
+// meta-path weights with Learn, then Link documents. A Model is safe
+// for concurrent Link calls; Learn and SetWeights must not race with
+// readers.
+type Model struct {
+	graph      *hin.Graph
+	entityType hin.TypeID
+	paths      []metapath.Path
+	weights    []float64
+	cfg        Config
+
+	popularity map[hin.ObjectID]float64
+	index      *namematch.Index
+	walker     *metapath.Walker
+	generic    *corpus.GenericModel
+}
+
+// New builds a model: it computes the entity popularity offline (the
+// paper computes PageRank scores offline for the whole network),
+// indexes entity names for candidate generation, and estimates the
+// generic object model from the document collection. Weights start
+// uniform over the path set; call Learn to fit them, or SetWeights to
+// impose them.
+func New(g *hin.Graph, entityType hin.TypeID, paths []metapath.Path, docs *corpus.Corpus, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, errors.New("shine: empty meta-path set")
+	}
+	for _, p := range paths {
+		if p.IsEmpty() {
+			return nil, errors.New("shine: empty meta-path in path set")
+		}
+		if st := p.StartType(g.Schema()); st != entityType {
+			return nil, fmt.Errorf("shine: path %s starts at type %s, entity type is %s",
+				p, g.Schema().Type(st).Abbrev, g.Schema().Type(entityType).Abbrev)
+		}
+	}
+
+	var pop map[hin.ObjectID]float64
+	switch cfg.Popularity {
+	case PopularityUniform:
+		p, err := pagerank.UniformPopularity(g, entityType)
+		if err != nil {
+			return nil, err
+		}
+		pop = p
+	default:
+		res, err := pagerank.Compute(g, cfg.PageRank)
+		if err != nil {
+			return nil, fmt.Errorf("shine: computing popularity: %w", err)
+		}
+		p, err := pagerank.EntityPopularity(g, res.Scores, entityType)
+		if err != nil {
+			return nil, err
+		}
+		pop = p
+	}
+
+	idx, err := namematch.BuildIndex(g, entityType)
+	if err != nil {
+		return nil, fmt.Errorf("shine: indexing entity names: %w", err)
+	}
+	gen, err := corpus.EstimateGeneric(docs)
+	if err != nil {
+		return nil, fmt.Errorf("shine: estimating generic object model: %w", err)
+	}
+
+	m := &Model{
+		graph:      g,
+		entityType: entityType,
+		paths:      append([]metapath.Path(nil), paths...),
+		weights:    make([]float64, len(paths)),
+		cfg:        cfg,
+		popularity: pop,
+		index:      idx,
+		walker:     metapath.NewWalker(g, cfg.WalkCacheSize),
+		generic:    gen,
+	}
+	for i := range m.weights {
+		m.weights[i] = 1 / float64(len(paths))
+	}
+	return m, nil
+}
+
+// Graph returns the model's network.
+func (m *Model) Graph() *hin.Graph { return m.graph }
+
+// Paths returns the meta-path set (shared; do not modify).
+func (m *Model) Paths() []metapath.Path { return m.paths }
+
+// Weights returns a copy of the current meta-path weight vector.
+func (m *Model) Weights() []float64 {
+	return append([]float64(nil), m.weights...)
+}
+
+// SetWeights imposes a weight vector. Weights must be non-negative
+// and are renormalised to sum to 1.
+func (m *Model) SetWeights(w []float64) error {
+	if len(w) != len(m.paths) {
+		return fmt.Errorf("shine: %d weights for %d paths", len(w), len(m.paths))
+	}
+	sum := 0.0
+	for _, x := range w {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("shine: invalid weight %v", x)
+		}
+		sum += x
+	}
+	if sum == 0 {
+		return errors.New("shine: all-zero weight vector")
+	}
+	for i, x := range w {
+		m.weights[i] = x / sum
+	}
+	return nil
+}
+
+// Rebind moves the model onto a new graph — typically the same
+// network after enrichment (populate) — keeping the learned weights
+// and configuration. Popularity, the name index and the walk cache
+// are recomputed; the meta-path set is re-validated against the new
+// schema. Object IDs need not be compatible between the graphs.
+func (m *Model) Rebind(g *hin.Graph) error {
+	for _, p := range m.paths {
+		if st := p.StartType(g.Schema()); st != m.entityType {
+			return fmt.Errorf("shine: path %s starts at type %d on the new schema, entity type is %d",
+				p, st, m.entityType)
+		}
+	}
+	var pop map[hin.ObjectID]float64
+	switch m.cfg.Popularity {
+	case PopularityUniform:
+		p, err := pagerank.UniformPopularity(g, m.entityType)
+		if err != nil {
+			return err
+		}
+		pop = p
+	default:
+		res, err := pagerank.Compute(g, m.cfg.PageRank)
+		if err != nil {
+			return fmt.Errorf("shine: recomputing popularity: %w", err)
+		}
+		p, err := pagerank.EntityPopularity(g, res.Scores, m.entityType)
+		if err != nil {
+			return err
+		}
+		pop = p
+	}
+	idx, err := namematch.BuildIndex(g, m.entityType)
+	if err != nil {
+		return fmt.Errorf("shine: reindexing entity names: %w", err)
+	}
+	m.graph = g
+	m.popularity = pop
+	m.index = idx
+	m.walker = metapath.NewWalker(g, m.cfg.WalkCacheSize)
+	return nil
+}
+
+// SetGeneric re-estimates the generic object model Pg from a new
+// document collection, keeping everything else (popularity, weights,
+// walk caches) intact. A serving deployment calls this as its corpus
+// grows, so smoothing tracks the evolving domain vocabulary without
+// re-running PageRank or EM. Must not race with concurrent Link
+// calls.
+func (m *Model) SetGeneric(docs *corpus.Corpus) error {
+	gen, err := corpus.EstimateGeneric(docs)
+	if err != nil {
+		return fmt.Errorf("shine: re-estimating generic object model: %w", err)
+	}
+	m.generic = gen
+	return nil
+}
+
+// Popularity returns P(e) for an entity (0 for non-entities).
+func (m *Model) Popularity(e hin.ObjectID) float64 { return m.popularity[e] }
+
+// Candidates returns the candidate entity set for a mention surface
+// form, per the paper's string-comparison rules.
+func (m *Model) Candidates(mention string) []hin.ObjectID {
+	return m.index.Candidates(mention)
+}
+
+// EntityObjectProb returns the smoothed object model probability
+// P(v|e) = θ·Pe(v) + (1−θ)·Pg(v) (Formula 9) for a single object —
+// the quantity tabulated per candidate in the paper's Figure 3.
+func (m *Model) EntityObjectProb(e, v hin.ObjectID) (float64, error) {
+	pe, err := m.walker.WalkMixturePruned(e, m.paths, m.weights, m.cfg.WalkPruning)
+	if err != nil {
+		return 0, err
+	}
+	return m.cfg.Theta*pe.Get(int32(v)) + (1-m.cfg.Theta)*m.generic.Prob(v), nil
+}
+
+// EntitySpecificProb returns the unsmoothed Pe(v) = Σ_p w_p Pe(v|p)
+// (Formula 12).
+func (m *Model) EntitySpecificProb(e, v hin.ObjectID) (float64, error) {
+	pe, err := m.walker.WalkMixturePruned(e, m.paths, m.weights, m.cfg.WalkPruning)
+	if err != nil {
+		return 0, err
+	}
+	return pe.Get(int32(v)), nil
+}
+
+// CandidateScore is one candidate's posterior under the model.
+type CandidateScore struct {
+	Entity hin.ObjectID
+	// LogJoint is ln P(m, d, e) = ln η + ln P(e) + ln P(d|e).
+	LogJoint float64
+	// Posterior is P(e|m, d) over the candidate set (Formula 18).
+	Posterior float64
+}
+
+// Result is the outcome of linking one mention.
+type Result struct {
+	// Entity is the argmax candidate.
+	Entity hin.ObjectID
+	// Candidates holds every candidate's score, sorted by descending
+	// posterior (ties broken by ascending entity ID).
+	Candidates []CandidateScore
+}
+
+// Link resolves the document's mention to its most likely entity
+// (Problem 1: argmax_e P(e|m, d)).
+func (m *Model) Link(doc *corpus.Document) (Result, error) {
+	cands := m.index.Candidates(doc.Mention)
+	if len(cands) == 0 {
+		return Result{Entity: hin.NoObject}, fmt.Errorf("%w: %q", ErrNoCandidates, doc.Mention)
+	}
+	md, err := m.prepareMention(doc, cands)
+	if err != nil {
+		return Result{Entity: hin.NoObject}, err
+	}
+	logs := make([]float64, len(cands))
+	for i := range md.cands {
+		logs[i] = m.logJoint(md, i, m.weights)
+	}
+	post := softmax(logs)
+
+	res := Result{Candidates: make([]CandidateScore, len(cands))}
+	for i, e := range cands {
+		res.Candidates[i] = CandidateScore{Entity: e, LogJoint: logs[i], Posterior: post[i]}
+	}
+	sort.Slice(res.Candidates, func(a, b int) bool {
+		ca, cb := res.Candidates[a], res.Candidates[b]
+		if ca.Posterior != cb.Posterior {
+			return ca.Posterior > cb.Posterior
+		}
+		return ca.Entity < cb.Entity
+	})
+	res.Entity = res.Candidates[0].Entity
+	return res, nil
+}
+
+// LinkAll links every document in the corpus, returning one result
+// per document in order. Documents without candidates produce a
+// Result with Entity == hin.NoObject and are counted in the returned
+// error only if all fail.
+func (m *Model) LinkAll(c *corpus.Corpus) ([]Result, error) {
+	results := make([]Result, c.Len())
+	failures := 0
+	for i, doc := range c.Docs {
+		r, err := m.Link(doc)
+		if err != nil {
+			failures++
+		}
+		results[i] = r
+	}
+	if failures == c.Len() && c.Len() > 0 {
+		return results, fmt.Errorf("shine: all %d mentions failed to link", failures)
+	}
+	return results, nil
+}
+
+// logJoint computes ln(η·P(e)·P(d|e)) for candidate i of a prepared
+// mention under the given weight vector, flooring probabilities at
+// cfg.ProbFloor.
+func (m *Model) logJoint(md *mentionData, i int, weights []float64) float64 {
+	c := &md.cands[i]
+	score := math.Log(m.cfg.Eta) + math.Log(math.Max(m.popularity[c.entity], m.cfg.ProbFloor))
+	theta := m.cfg.Theta
+	for oi := range md.counts {
+		pe := 0.0
+		for pi := range weights {
+			pe += weights[pi] * c.pathProb[pi][oi]
+		}
+		pv := theta*pe + (1-theta)*md.generic[oi]
+		score += md.counts[oi] * math.Log(math.Max(pv, m.cfg.ProbFloor))
+	}
+	return score
+}
+
+// softmax converts log scores into a normalised posterior.
+func softmax(logs []float64) []float64 {
+	max := math.Inf(-1)
+	for _, l := range logs {
+		if l > max {
+			max = l
+		}
+	}
+	out := make([]float64, len(logs))
+	sum := 0.0
+	for i, l := range logs {
+		out[i] = math.Exp(l - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

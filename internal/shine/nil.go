@@ -1,0 +1,115 @@
+package shine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+)
+
+// NIL prediction — the paper's stated future work ("the method for
+// predicting entity mentions that do not have their corresponding
+// entity records in the heterogeneous information network is left for
+// future research", Section 2.2) — implemented inside the generative
+// model rather than as an ad-hoc threshold:
+//
+// A NIL pseudo-candidate is added to every candidate set. Its prior
+// is a configurable mass π: the probability that the mention's true
+// referent has no record, given its surface form. The remaining 1−π
+// is distributed over the real candidates in proportion to their
+// popularity (renormalised over the candidate set — the global P(e)
+// sums to 1 over *all* entities, so using it raw would let any
+// non-trivial π swamp the handful of candidates). The NIL object
+// model is the generic model alone — a document about an entity the
+// network does not know looks, to the network, like generic domain
+// text:
+//
+//	P(m, d, NIL)  = η · π · Π_v Pg(v)^count(v)
+//	P(m, d, e)    = η · (1−π) · P(e)/Σ_{e'∈cand}P(e') · P(d|e)
+//
+// Renormalising the candidate priors leaves candidate-vs-candidate
+// posteriors identical to Link's; only the NIL-vs-candidates balance
+// is governed by π. The mention maps to NIL exactly when no
+// candidate's neighbourhood explains the document better than the
+// domain background does.
+
+// NILPrior is the default prior mass reserved for the NIL outcome.
+const NILPrior = 0.05
+
+// LinkNIL resolves the document's mention like Link, but may return
+// hin.NoObject (NIL) when the document is better explained by the
+// generic domain model than by any candidate. nilPrior ∈ (0, 1) is
+// the prior probability that the mention's entity is absent from the
+// network; higher values predict NIL more eagerly.
+//
+// Unlike Link, a mention whose surface form matches no entity at all
+// is not an error here: it is a NIL prediction with posterior 1.
+func (m *Model) LinkNIL(doc *corpus.Document, nilPrior float64) (Result, error) {
+	if nilPrior <= 0 || nilPrior >= 1 {
+		return Result{}, fmt.Errorf("shine: NIL prior %v outside (0, 1)", nilPrior)
+	}
+	cands := m.index.Candidates(doc.Mention)
+	if len(cands) == 0 {
+		return Result{
+			Entity: hin.NoObject,
+			Candidates: []CandidateScore{{
+				Entity:    hin.NoObject,
+				LogJoint:  m.nilLogJoint(doc, nilPrior),
+				Posterior: 1,
+			}},
+		}, nil
+	}
+	md, err := m.prepareMention(doc, cands)
+	if err != nil {
+		return Result{}, err
+	}
+
+	candMass := 0.0
+	for _, e := range cands {
+		candMass += m.popularity[e]
+	}
+	if candMass < m.cfg.ProbFloor {
+		candMass = m.cfg.ProbFloor
+	}
+	logs := make([]float64, len(cands)+1)
+	// (1−π) / Σ P(e') rescales the candidate priors so they compete
+	// with π on equal footing.
+	scale := math.Log(1-nilPrior) - math.Log(candMass)
+	for i := range md.cands {
+		logs[i] = scale + m.logJoint(md, i, m.weights)
+	}
+	logs[len(cands)] = m.nilLogJoint(doc, nilPrior)
+	post := softmax(logs)
+
+	res := Result{Candidates: make([]CandidateScore, len(logs))}
+	for i, e := range cands {
+		res.Candidates[i] = CandidateScore{Entity: e, LogJoint: logs[i], Posterior: post[i]}
+	}
+	res.Candidates[len(cands)] = CandidateScore{
+		Entity:    hin.NoObject,
+		LogJoint:  logs[len(cands)],
+		Posterior: post[len(cands)],
+	}
+	sort.Slice(res.Candidates, func(a, b int) bool {
+		ca, cb := res.Candidates[a], res.Candidates[b]
+		if ca.Posterior != cb.Posterior {
+			return ca.Posterior > cb.Posterior
+		}
+		return ca.Entity < cb.Entity
+	})
+	res.Entity = res.Candidates[0].Entity
+	return res, nil
+}
+
+// nilLogJoint scores the NIL pseudo-candidate: prior mass times the
+// generic object model over the document.
+func (m *Model) nilLogJoint(doc *corpus.Document, nilPrior float64) float64 {
+	score := math.Log(m.cfg.Eta) + math.Log(nilPrior)
+	for _, oc := range doc.Objects {
+		pg := m.generic.Prob(oc.Object)
+		score += float64(oc.Count) * math.Log(math.Max(pg, m.cfg.ProbFloor))
+	}
+	return score
+}

@@ -1,0 +1,176 @@
+package shine
+
+import (
+	"fmt"
+	"testing"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/metapath"
+)
+
+// nilFixture extends the two-Wangs fixture with a third research
+// community (ICML, deep learning, Grace Kim) that neither "Wei Wang"
+// has any connection to — the home turf of an out-of-network Wei
+// Wang.
+func nilFixture(t testing.TB) (*fixture, *corpus.Document) {
+	t.Helper()
+	f := newFixture(t)
+	d := f.d
+	b := hin.NewBuilder(d.Schema)
+
+	// Rebuild the fixture graph contents plus the third community.
+	// (Builders are cheap; reconstruct from scratch for clarity.)
+	ids := map[string]hin.ObjectID{}
+	for v := 0; v < f.g.NumObjects(); v++ {
+		id := b.MustAddObject(f.g.TypeOf(hin.ObjectID(v)), f.g.Name(hin.ObjectID(v)))
+		ids[f.g.Name(hin.ObjectID(v))] = id
+	}
+	f.g.ForEachLink(func(rel hin.RelationID, src, dst hin.ObjectID) {
+		if rel%2 == 0 { // forward links only; inverses are derived
+			b.MustAddLink(rel, ids[f.g.Name(src)], ids[f.g.Name(dst)])
+		}
+	})
+	kim := b.MustAddObject(d.Author, "Grace Kim")
+	icml := b.MustAddObject(d.Venue, "ICML")
+	deep := b.MustAddObject(d.Term, "deep")
+	for i := 0; i < 3; i++ {
+		p := b.MustAddObject(d.Paper, fmt.Sprintf("kim-p%d", i))
+		b.MustAddLink(d.Write, kim, p)
+		b.MustAddLink(d.Publish, icml, p)
+		b.MustAddLink(d.Contain, p, deep)
+	}
+	g := b.Build()
+
+	// The NIL document: mention "Wei Wang", context entirely in the
+	// third community, with enough objects that the evidence (rather
+	// than the popularity prior) decides.
+	var objs []hin.ObjectID
+	for i := 0; i < 4; i++ {
+		objs = append(objs, kim, icml, deep)
+	}
+	nilDoc := corpus.NewDocument("nil", "Wei Wang", hin.NoObject, objs)
+
+	// Re-point the fixture documents at the rebuilt graph (object IDs
+	// are preserved by reconstruction order).
+	c := &corpus.Corpus{}
+	c.Add(f.docA)
+	c.Add(f.docB)
+	c.Add(nilDoc)
+	f.g = g
+	f.corpus = c
+	return f, nilDoc
+}
+
+func newNILModel(t testing.TB, f *fixture) *Model {
+	t.Helper()
+	m, err := New(f.g, f.d.Author, metapath.DBLPPaperPaths(f.d), f.corpus, DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestLinkNILDetectsOutOfNetworkMention(t *testing.T) {
+	f, nilDoc := nilFixture(t)
+	m := newNILModel(t, f)
+
+	r, err := m.LinkNIL(nilDoc, NILPrior)
+	if err != nil {
+		t.Fatalf("LinkNIL: %v", err)
+	}
+	if r.Entity != hin.NoObject {
+		t.Errorf("NIL document linked to %s, want NIL", f.g.Name(r.Entity))
+	}
+	// The NIL pseudo-candidate appears in the candidate list.
+	found := false
+	for _, cs := range r.Candidates {
+		if cs.Entity == hin.NoObject {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("NIL pseudo-candidate missing from result")
+	}
+}
+
+func TestLinkNILKeepsInNetworkMentions(t *testing.T) {
+	f, _ := nilFixture(t)
+	m := newNILModel(t, f)
+
+	// Strong in-network evidence must still beat NIL.
+	for _, doc := range []*corpus.Document{f.docA, f.docB} {
+		r, err := m.LinkNIL(doc, NILPrior)
+		if err != nil {
+			t.Fatalf("LinkNIL(%s): %v", doc.ID, err)
+		}
+		if r.Entity != doc.Gold {
+			t.Errorf("doc %s: LinkNIL chose %d, want gold %d", doc.ID, r.Entity, doc.Gold)
+		}
+	}
+}
+
+func TestLinkNILUnknownSurfaceFormIsNIL(t *testing.T) {
+	f, _ := nilFixture(t)
+	m := newNILModel(t, f)
+	doc := corpus.NewDocument("x", "Totally Unknown", hin.NoObject, nil)
+	r, err := m.LinkNIL(doc, NILPrior)
+	if err != nil {
+		t.Fatalf("LinkNIL: %v", err)
+	}
+	if r.Entity != hin.NoObject {
+		t.Errorf("unknown surface form linked to %d", r.Entity)
+	}
+	if len(r.Candidates) != 1 || r.Candidates[0].Posterior != 1 {
+		t.Errorf("candidates = %+v", r.Candidates)
+	}
+}
+
+func TestLinkNILPriorMonotonicity(t *testing.T) {
+	f, nilDoc := nilFixture(t)
+	m := newNILModel(t, f)
+
+	nilPosterior := func(prior float64) float64 {
+		r, err := m.LinkNIL(nilDoc, prior)
+		if err != nil {
+			t.Fatalf("LinkNIL(prior=%v): %v", prior, err)
+		}
+		for _, cs := range r.Candidates {
+			if cs.Entity == hin.NoObject {
+				return cs.Posterior
+			}
+		}
+		t.Fatal("no NIL candidate")
+		return 0
+	}
+	lo, hi := nilPosterior(0.01), nilPosterior(0.5)
+	if hi <= lo {
+		t.Errorf("NIL posterior not increasing in prior: %v at 0.01, %v at 0.5", lo, hi)
+	}
+}
+
+func TestLinkNILPriorValidation(t *testing.T) {
+	f, nilDoc := nilFixture(t)
+	m := newNILModel(t, f)
+	for _, bad := range []float64{0, 1, -0.1, 1.5} {
+		if _, err := m.LinkNIL(nilDoc, bad); err == nil {
+			t.Errorf("prior %v accepted", bad)
+		}
+	}
+}
+
+func TestLinkNILPosteriorsSumToOne(t *testing.T) {
+	f, nilDoc := nilFixture(t)
+	m := newNILModel(t, f)
+	r, err := m.LinkNIL(nilDoc, NILPrior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, cs := range r.Candidates {
+		sum += cs.Posterior
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("posteriors sum to %v", sum)
+	}
+}

@@ -1,0 +1,55 @@
+package shine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"shine/internal/corpus"
+)
+
+// LinkAllParallel links every document using the given number of
+// worker goroutines, returning results in document order — identical
+// to LinkAll's output, faster on multi-core machines. workers <= 0
+// uses GOMAXPROCS. The paper's implementation is single-threaded
+// ("we do not utilize the parallel computing technique"); linking is
+// embarrassingly parallel, so a serving deployment should not be.
+func (m *Model) LinkAllParallel(c *corpus.Corpus, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := c.Len()
+	if workers > n {
+		workers = n
+	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = m.Link(c.Docs[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	failures := 0
+	for _, err := range errs {
+		if err != nil {
+			failures++
+		}
+	}
+	if failures == n && n > 0 {
+		return results, fmt.Errorf("shine: all %d mentions failed to link", failures)
+	}
+	return results, nil
+}

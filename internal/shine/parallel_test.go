@@ -1,0 +1,57 @@
+package shine
+
+import (
+	"testing"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/metapath"
+)
+
+// pathsFor returns the Table 3 path set for a schema.
+func pathsFor(t testing.TB, d *hin.DBLPSchema) []metapath.Path {
+	t.Helper()
+	return metapath.DBLPPaperPaths(d)
+}
+
+func TestLinkAllParallelMatchesSequential(t *testing.T) {
+	ds := integrationDataset(t)
+	d := ds.Data.Schema
+	m, err := New(ds.Data.Graph, d.Author, pathsFor(t, d), ds.Corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Learn(ds.Corpus); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := m.LinkAll(ds.Corpus)
+	if err != nil {
+		t.Fatalf("LinkAll: %v", err)
+	}
+	for _, workers := range []int{0, 1, 4, 100} {
+		par, err := m.LinkAllParallel(ds.Corpus, workers)
+		if err != nil {
+			t.Fatalf("LinkAllParallel(%d): %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i].Entity != seq[i].Entity {
+				t.Errorf("workers=%d doc %d: %d vs sequential %d",
+					workers, i, par[i].Entity, seq[i].Entity)
+			}
+		}
+	}
+}
+
+func TestLinkAllParallelAllFailures(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	c := &corpus.Corpus{}
+	c.Add(corpus.NewDocument("x", "Unknown Person", hin.NoObject, nil))
+	c.Add(corpus.NewDocument("y", "Another Unknown", hin.NoObject, nil))
+	if _, err := m.LinkAllParallel(c, 2); err == nil {
+		t.Error("all-unlinkable corpus accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package shine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/metapath"
+)
+
+// Model persistence: a trained model is its configuration, entity
+// type, meta-path set and learned weight vector. Everything else
+// (popularity, walk caches, the generic object model) is derived
+// deterministically from the graph and corpus at load time, so the
+// saved artifact stays small and graph-version-independent: load the
+// same snapshot against an updated network and the weights carry
+// over.
+
+// modelState is the on-disk JSON representation.
+type modelState struct {
+	Version    int       `json:"version"`
+	EntityType string    `json:"entityType"`
+	Paths      []string  `json:"paths"`
+	Weights    []float64 `json:"weights"`
+	Config     Config    `json:"config"`
+}
+
+const modelStateVersion = 1
+
+// Save writes the model's learned state (config, meta-path set and
+// weights) as JSON.
+func (m *Model) Save(w io.Writer) error {
+	st := modelState{
+		Version:    modelStateVersion,
+		EntityType: m.graph.Schema().Type(m.entityType).Name,
+		Weights:    m.Weights(),
+		Config:     m.cfg,
+	}
+	for _, p := range m.paths {
+		st.Paths = append(st.Paths, p.String())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// Load reconstructs a model saved with Save over the given graph and
+// document collection. The graph's schema must contain the saved
+// entity type and support the saved meta-path notations; the corpus
+// provides the generic object model exactly as in New.
+func Load(r io.Reader, g *hin.Graph, docs *corpus.Corpus) (*Model, error) {
+	var st modelState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("shine: decoding model state: %w", err)
+	}
+	if st.Version != modelStateVersion {
+		return nil, fmt.Errorf("shine: unsupported model state version %d", st.Version)
+	}
+	entityType, ok := g.Schema().TypeByName(st.EntityType)
+	if !ok {
+		return nil, fmt.Errorf("shine: graph schema has no type %q", st.EntityType)
+	}
+	if len(st.Paths) == 0 || len(st.Paths) != len(st.Weights) {
+		return nil, fmt.Errorf("shine: model state has %d paths and %d weights",
+			len(st.Paths), len(st.Weights))
+	}
+	paths, err := metapath.ParseAll(g.Schema(), st.Paths)
+	if err != nil {
+		return nil, fmt.Errorf("shine: reparsing meta-paths: %w", err)
+	}
+	m, err := New(g, entityType, paths, docs, st.Config)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetWeights(st.Weights); err != nil {
+		return nil, fmt.Errorf("shine: restoring weights: %w", err)
+	}
+	return m, nil
+}

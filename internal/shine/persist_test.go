@@ -1,0 +1,78 @@
+package shine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	if _, err := m.Learn(f.corpus); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	m2, err := Load(&buf, f.g, f.corpus)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	w1, w2 := m.Weights(), m2.Weights()
+	if len(w1) != len(w2) {
+		t.Fatalf("weight lengths %d vs %d", len(w1), len(w2))
+	}
+	for i := range w1 {
+		if math.Abs(w1[i]-w2[i]) > 1e-12 {
+			t.Errorf("weight %d: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+	// Linking decisions must be identical.
+	for _, doc := range f.corpus.Docs {
+		r1, err1 := m.Link(doc)
+		r2, err2 := m2.Link(doc)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Link errors: %v, %v", err1, err2)
+		}
+		if r1.Entity != r2.Entity {
+			t.Errorf("doc %s: %d vs %d after reload", doc.ID, r1.Entity, r2.Entity)
+		}
+		if math.Abs(r1.Candidates[0].Posterior-r2.Candidates[0].Posterior) > 1e-9 {
+			t.Errorf("doc %s: posterior drifted after reload", doc.ID)
+		}
+	}
+}
+
+func TestLoadRejectsBadState(t *testing.T) {
+	f := newFixture(t)
+	cases := []string{
+		"not json",
+		`{"version": 99}`,
+		`{"version": 1, "entityType": "nosuchtype", "paths": ["A-P-V"], "weights": [1]}`,
+		`{"version": 1, "entityType": "author", "paths": ["A-P-V"], "weights": [1, 2]}`,
+		`{"version": 1, "entityType": "author", "paths": [], "weights": []}`,
+		`{"version": 1, "entityType": "author", "paths": ["A-X-B"], "weights": [1]}`,
+	}
+	for i, s := range cases {
+		if _, err := Load(strings.NewReader(s), f.g, f.corpus); err == nil {
+			t.Errorf("case %d accepted: %s", i, s)
+		}
+	}
+}
+
+func TestLoadRejectsInvalidWeights(t *testing.T) {
+	f := newFixture(t)
+	s := `{"version": 1, "entityType": "author", "paths": ["A-P-V", "A-P-T"],
+	       "weights": [-1, 2],
+	       "config": {"Theta": 0.2, "Eta": 1, "PageRank": {"Lambda": 0.2, "Tolerance": 1e-10, "MaxIterations": 50},
+	                  "MaxEMIterations": 5, "MaxGDIterations": 5, "EMTolerance": 1e-4,
+	                  "GDTolerance": 1e-7, "WalkCacheSize": 16, "ProbFloor": 1e-12}}`
+	if _, err := Load(strings.NewReader(s), f.g, f.corpus); err == nil {
+		t.Error("negative weight accepted")
+	}
+}

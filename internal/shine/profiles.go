@@ -1,0 +1,90 @@
+package shine
+
+import (
+	"fmt"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+)
+
+// mentionData is the precomputed scoring state for one mention: for
+// every candidate entity and every meta-path, the walk probability
+// Pe(v|p) restricted to the document's objects. With these matrices
+// in memory, one evaluation of the objective or its gradient is a
+// pure floating-point loop — this is what makes the EM inner loop
+// linear in the number of mentions (Section 4's complexity analysis:
+// O(|M| · |Em| · |Vd| · |W|) per iteration).
+type mentionData struct {
+	doc *corpus.Document
+	// counts[oi] is the occurrence count of document object oi.
+	counts []float64
+	// generic[oi] is Pg(v) for document object oi.
+	generic []float64
+	// cands holds the per-candidate walk profiles.
+	cands []candidateProfile
+}
+
+type candidateProfile struct {
+	entity hin.ObjectID
+	// pathProb[pi][oi] = Pe(object oi | path pi) for this candidate.
+	pathProb [][]float64
+}
+
+// prepareMention computes the profile matrices for one document and
+// candidate set.
+func (m *Model) prepareMention(doc *corpus.Document, cands []hin.ObjectID) (*mentionData, error) {
+	md := &mentionData{
+		doc:     doc,
+		counts:  make([]float64, len(doc.Objects)),
+		generic: make([]float64, len(doc.Objects)),
+		cands:   make([]candidateProfile, len(cands)),
+	}
+	for oi, oc := range doc.Objects {
+		md.counts[oi] = float64(oc.Count)
+		md.generic[oi] = m.generic.Prob(oc.Object)
+	}
+	for ci, e := range cands {
+		prof := candidateProfile{
+			entity:   e,
+			pathProb: make([][]float64, len(m.paths)),
+		}
+		for pi, p := range m.paths {
+			dist, err := m.walker.WalkPruned(e, p, m.cfg.WalkPruning)
+			if err != nil {
+				return nil, fmt.Errorf("shine: walking %s from entity %d: %w", p, e, err)
+			}
+			row := make([]float64, len(doc.Objects))
+			for oi, oc := range doc.Objects {
+				row[oi] = dist.Get(int32(oc.Object))
+			}
+			prof.pathProb[pi] = row
+		}
+		md.cands[ci] = prof
+	}
+	return md, nil
+}
+
+// prepareCorpus computes mention data for every document that has at
+// least one candidate. Documents with no candidates are skipped (and
+// counted); the paper's task setting guarantees none, but synthetic
+// or user data may violate it.
+func (m *Model) prepareCorpus(c *corpus.Corpus) ([]*mentionData, int, error) {
+	var out []*mentionData
+	skipped := 0
+	for _, doc := range c.Docs {
+		cands := m.index.Candidates(doc.Mention)
+		if len(cands) == 0 {
+			skipped++
+			continue
+		}
+		md, err := m.prepareMention(doc, cands)
+		if err != nil {
+			return nil, skipped, err
+		}
+		out = append(out, md)
+	}
+	if len(out) == 0 {
+		return nil, skipped, fmt.Errorf("shine: no linkable mentions in corpus of %d documents", c.Len())
+	}
+	return out, skipped, nil
+}

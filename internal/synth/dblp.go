@@ -1,0 +1,358 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"shine/internal/hin"
+	"shine/internal/textproc"
+)
+
+// DBLPConfig parameterises the synthetic DBLP-like network. The zero
+// value is invalid; start from DefaultDBLPConfig.
+type DBLPConfig struct {
+	// Seed drives all randomness; equal configs generate identical
+	// networks.
+	Seed int64
+	// RegularAuthors is the number of authors with unique names.
+	RegularAuthors int
+	// AmbiguousGroups is the number of "Wei Wang"-style surface names
+	// shared by several distinct authors.
+	AmbiguousGroups int
+	// MinGroupSize and MaxGroupSize bound the number of authors per
+	// ambiguous surface name.
+	MinGroupSize, MaxGroupSize int
+	// Topics is the number of research communities; venues, terms and
+	// coauthorships cluster within topics.
+	Topics int
+	// VenuesPerTopic is the number of venues in each topic.
+	VenuesPerTopic int
+	// TermsPerTopic is the size of each topic's primary vocabulary.
+	TermsPerTopic int
+	// SharedTerms is the size of the cross-topic vocabulary.
+	SharedTerms int
+	// MaxPapersPerAuthor caps the Zipfian productivity draw.
+	MaxPapersPerAuthor int
+	// ZipfAlpha shapes the productivity distribution; larger means
+	// more skew towards single-paper authors.
+	ZipfAlpha float64
+	// StarBoostMin, when positive, guarantees the first member of
+	// every ambiguity group at least this many papers: real ambiguous
+	// names typically pair one well-known researcher with several
+	// students, which is what makes the popularity prior informative.
+	StarBoostMin int
+	// OffTopicTermProb is the chance an in-topic title term draw is
+	// replaced by a term from a random topic, blurring topical
+	// vocabulary the way real paper titles do.
+	OffTopicTermProb float64
+	// MaxCoauthorsPerPaper bounds the coauthor count of each paper.
+	MaxCoauthorsPerPaper int
+	// OffTopicVenueProb is the chance a paper lands in a venue outside
+	// its lead author's topic.
+	OffTopicVenueProb float64
+	// TermsPerPaper is the number of title terms per paper.
+	TermsPerPaper int
+	// YearMin and YearMax bound publication years, inclusive.
+	YearMin, YearMax int
+}
+
+// DefaultDBLPConfig returns a laptop-scale network: roughly 2,000
+// authors across 8 topics, with 20 ambiguous surface names of 4–12
+// authors each — the same regime (many candidates per mention, skewed
+// productivity) as the paper's DBLP snapshot, at 1/600 scale.
+func DefaultDBLPConfig() DBLPConfig {
+	return DBLPConfig{
+		Seed:                 1,
+		RegularAuthors:       1800,
+		AmbiguousGroups:      20,
+		MinGroupSize:         4,
+		MaxGroupSize:         12,
+		Topics:               8,
+		VenuesPerTopic:       5,
+		TermsPerTopic:        40,
+		SharedTerms:          60,
+		MaxPapersPerAuthor:   60,
+		ZipfAlpha:            1.15,
+		StarBoostMin:         25,
+		OffTopicTermProb:     0.2,
+		MaxCoauthorsPerPaper: 3,
+		OffTopicVenueProb:    0.15,
+		TermsPerPaper:        6,
+		YearMin:              1990,
+		YearMax:              2013,
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c DBLPConfig) Validate() error {
+	switch {
+	case c.RegularAuthors < 0:
+		return fmt.Errorf("synth: RegularAuthors %d negative", c.RegularAuthors)
+	case c.AmbiguousGroups < 1:
+		return fmt.Errorf("synth: need at least one ambiguous group, got %d", c.AmbiguousGroups)
+	case c.MinGroupSize < 2:
+		return fmt.Errorf("synth: MinGroupSize %d must be at least 2", c.MinGroupSize)
+	case c.MaxGroupSize < c.MinGroupSize:
+		return fmt.Errorf("synth: MaxGroupSize %d below MinGroupSize %d", c.MaxGroupSize, c.MinGroupSize)
+	case c.Topics < 1:
+		return fmt.Errorf("synth: Topics %d must be positive", c.Topics)
+	case c.VenuesPerTopic < 1:
+		return fmt.Errorf("synth: VenuesPerTopic %d must be positive", c.VenuesPerTopic)
+	case c.TermsPerTopic < c.TermsPerPaper:
+		return fmt.Errorf("synth: TermsPerTopic %d below TermsPerPaper %d", c.TermsPerTopic, c.TermsPerPaper)
+	case c.MaxPapersPerAuthor < 1:
+		return fmt.Errorf("synth: MaxPapersPerAuthor %d must be positive", c.MaxPapersPerAuthor)
+	case c.ZipfAlpha <= 0:
+		return fmt.Errorf("synth: ZipfAlpha %v must be positive", c.ZipfAlpha)
+	case c.StarBoostMin < 0 || c.StarBoostMin > c.MaxPapersPerAuthor:
+		return fmt.Errorf("synth: StarBoostMin %d outside [0, MaxPapersPerAuthor]", c.StarBoostMin)
+	case c.OffTopicTermProb < 0 || c.OffTopicTermProb > 1:
+		return fmt.Errorf("synth: OffTopicTermProb %v outside [0, 1]", c.OffTopicTermProb)
+	case c.YearMax < c.YearMin:
+		return fmt.Errorf("synth: YearMax %d before YearMin %d", c.YearMax, c.YearMin)
+	}
+	return nil
+}
+
+// AmbiguityGroup records one shared surface name and its member
+// entities, ordered as generated.
+type AmbiguityGroup struct {
+	// Surface is the shared name as it appears in documents, e.g.
+	// "Wei Wang". Member objects carry disambiguation suffixes.
+	Surface string
+	// Members are the author entity IDs sharing the surface name.
+	Members []hin.ObjectID
+}
+
+// DBLPData is a generated network plus the side information document
+// generation and evaluation need.
+type DBLPData struct {
+	Schema *hin.DBLPSchema
+	Graph  *hin.Graph
+	// Groups are the ambiguous surface names, in generation order.
+	Groups []AmbiguityGroup
+	// AuthorTopic maps every author entity to its research topic.
+	AuthorTopic map[hin.ObjectID]int
+	// PaperCount maps every author entity to its number of papers.
+	PaperCount map[hin.ObjectID]int
+	// TermWord maps a term object's stem (its graph name) back to a
+	// raw word that normalises to it, for rendering document text.
+	TermWord map[string]string
+	// TopicTerms lists, per topic, the raw words of its vocabulary.
+	TopicTerms [][]string
+	// SharedWords is the cross-topic vocabulary (raw words).
+	SharedWords []string
+	// TopicVenues lists, per topic, the venue object IDs.
+	TopicVenues [][]hin.ObjectID
+}
+
+// GenerateDBLP builds a synthetic DBLP-schema network according to
+// cfg. Generation is deterministic in cfg (including Seed).
+func GenerateDBLP(cfg DBLPConfig) (*DBLPData, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := hin.NewDBLPSchema()
+	b := hin.NewBuilder(d.Schema)
+	data := &DBLPData{
+		Schema:      d,
+		AuthorTopic: make(map[hin.ObjectID]int),
+		PaperCount:  make(map[hin.ObjectID]int),
+		TermWord:    make(map[string]string),
+	}
+
+	// Vocabulary: per-topic words plus a shared pool. Graph term
+	// objects are named by the normalised stem of each word so that
+	// document ingestion resolves exactly.
+	termObjects := make(map[string]hin.ObjectID)
+	addTermWord := func(word string) hin.ObjectID {
+		stem := textproc.NormalizeTerm(word)
+		if stem == "" {
+			panic(fmt.Sprintf("synth: word %q normalises to nothing", word))
+		}
+		id := b.MustAddObject(d.Term, stem)
+		if _, seen := termObjects[stem]; !seen {
+			termObjects[stem] = id
+			data.TermWord[stem] = word
+		}
+		return id
+	}
+	data.TopicTerms = make([][]string, cfg.Topics)
+	topicTermIDs := make([][]hin.ObjectID, cfg.Topics)
+	for t := 0; t < cfg.Topics; t++ {
+		for i := 0; i < cfg.TermsPerTopic; i++ {
+			word := synthWord(t, i)
+			id := addTermWord(word)
+			data.TopicTerms[t] = append(data.TopicTerms[t], word)
+			topicTermIDs[t] = append(topicTermIDs[t], id)
+		}
+	}
+	var sharedTermIDs []hin.ObjectID
+	for i := 0; i < cfg.SharedTerms; i++ {
+		word := synthWord(cfg.Topics, i) // pseudo-topic index for shared pool
+		id := addTermWord(word)
+		data.SharedWords = append(data.SharedWords, word)
+		sharedTermIDs = append(sharedTermIDs, id)
+	}
+
+	// Venues per topic.
+	data.TopicVenues = make([][]hin.ObjectID, cfg.Topics)
+	for t := 0; t < cfg.Topics; t++ {
+		for i := 0; i < cfg.VenuesPerTopic; i++ {
+			data.TopicVenues[t] = append(data.TopicVenues[t], b.MustAddObject(d.Venue, venueName(t, i)))
+		}
+	}
+
+	// Years.
+	years := make([]hin.ObjectID, 0, cfg.YearMax-cfg.YearMin+1)
+	for y := cfg.YearMin; y <= cfg.YearMax; y++ {
+		years = append(years, b.MustAddObject(d.Year, fmt.Sprintf("%d", y)))
+	}
+
+	// Authors. Regular authors draw unique (first, last) pairs;
+	// ambiguous groups consume further unique pairs and suffix their
+	// members DBLP-style.
+	namePairs := rng.Perm(len(firstNames) * len(lastNames))
+	need := cfg.RegularAuthors + cfg.AmbiguousGroups
+	if need > len(namePairs) {
+		return nil, fmt.Errorf("synth: %d distinct names requested but only %d available",
+			need, len(namePairs))
+	}
+	pairName := func(k int) string {
+		p := namePairs[k]
+		return fullName(p/len(lastNames), p%len(lastNames))
+	}
+
+	var authors []hin.ObjectID
+	byTopic := make([][]hin.ObjectID, cfg.Topics)
+	addAuthor := func(name string, topic int) hin.ObjectID {
+		a := b.MustAddObject(d.Author, name)
+		data.AuthorTopic[a] = topic
+		authors = append(authors, a)
+		byTopic[topic] = append(byTopic[topic], a)
+		return a
+	}
+	for k := 0; k < cfg.RegularAuthors; k++ {
+		addAuthor(pairName(k), rng.Intn(cfg.Topics))
+	}
+	stars := make(map[hin.ObjectID]bool)
+	for gi := 0; gi < cfg.AmbiguousGroups; gi++ {
+		surface := pairName(cfg.RegularAuthors + gi)
+		size := cfg.MinGroupSize + rng.Intn(cfg.MaxGroupSize-cfg.MinGroupSize+1)
+		group := AmbiguityGroup{Surface: surface}
+		for m := 0; m < size; m++ {
+			// Spread members across topics so that context is
+			// discriminative, but with frequent same-topic collisions:
+			// real "Wei Wang"s cluster in a handful of CS areas, and
+			// same-area namesakes are exactly the hard cases where
+			// fine-grained network evidence (specific venues,
+			// coauthors, popularity) must carry the decision.
+			topic := (gi + m) % cfg.Topics
+			if rng.Float64() < 0.45 {
+				topic = (gi + rng.Intn(2)) % cfg.Topics
+			}
+			a := addAuthor(fmt.Sprintf("%s %04d", surface, m+1), topic)
+			group.Members = append(group.Members, a)
+			if m == 0 {
+				stars[a] = true
+			}
+		}
+		data.Groups = append(data.Groups, group)
+	}
+
+	// Papers: Zipfian productivity, topical venues, topical terms and
+	// same-topic coauthors.
+	paperSeq := 0
+	for _, a := range authors {
+		topic := data.AuthorTopic[a]
+		n := zipfCount(rng, cfg.ZipfAlpha, cfg.MaxPapersPerAuthor)
+		if stars[a] && n < cfg.StarBoostMin {
+			n = cfg.StarBoostMin + rng.Intn(cfg.MaxPapersPerAuthor-cfg.StarBoostMin+1)
+		}
+		data.PaperCount[a] += n
+		for i := 0; i < n; i++ {
+			p := b.MustAddObject(d.Paper, fmt.Sprintf("paper-%07d", paperSeq))
+			paperSeq++
+			b.MustAddLink(d.Write, a, p)
+
+			// Coauthors from the same topic.
+			k := rng.Intn(cfg.MaxCoauthorsPerPaper + 1)
+			for c := 0; c < k && len(byTopic[topic]) > 1; c++ {
+				co := byTopic[topic][rng.Intn(len(byTopic[topic]))]
+				if co != a {
+					b.MustAddLink(d.Write, co, p)
+					data.PaperCount[co]++
+				}
+			}
+
+			// Venue: usually in-topic.
+			vt := topic
+			if rng.Float64() < cfg.OffTopicVenueProb {
+				vt = rng.Intn(cfg.Topics)
+			}
+			venues := data.TopicVenues[vt]
+			b.MustAddLink(d.Publish, venues[rng.Intn(len(venues))], p)
+
+			// Terms: mostly in-topic plus one shared word, with
+			// occasional off-topic vocabulary.
+			for ti := 0; ti < cfg.TermsPerPaper-1; ti++ {
+				tt := topic
+				if rng.Float64() < cfg.OffTopicTermProb {
+					tt = rng.Intn(cfg.Topics)
+				}
+				b.MustAddLink(d.Contain, p, topicTermIDs[tt][rng.Intn(len(topicTermIDs[tt]))])
+			}
+			if len(sharedTermIDs) > 0 {
+				b.MustAddLink(d.Contain, p, sharedTermIDs[rng.Intn(len(sharedTermIDs))])
+			}
+
+			b.MustAddLink(d.PublishedIn, p, years[rng.Intn(len(years))])
+		}
+	}
+
+	data.Graph = b.Build()
+	if err := data.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated graph invalid: %w", err)
+	}
+	return data, nil
+}
+
+// synthWord builds a pronounceable letters-only word unique to
+// (pool, i). Words survive Porter stemming to distinct stems because
+// the suffix letters vary in the final position.
+func synthWord(pool, i int) string {
+	stem := topicTermStems[(pool*7+i)%len(topicTermStems)]
+	// Consonant-only suffix keeps words letters-only and avoids the
+	// stemmer's suffix rules ('s' is excluded so step 1a never fires).
+	const alphabet = "bcdfghjklmnpqrtvwxz"
+	suffix := []byte{}
+	n := pool*1000 + i
+	for {
+		suffix = append(suffix, alphabet[n%len(alphabet)])
+		n /= len(alphabet)
+		if n == 0 {
+			break
+		}
+	}
+	return stem + string(suffix)
+}
+
+// zipfCount draws a paper count in [1, max] from the discrete Pareto
+// law P(n ≥ k) = k^-alpha, so P(n = 1) = 1 - 2^-alpha (a majority of
+// single-paper authors, as in DBLP).
+func zipfCount(rng *rand.Rand, alpha float64, max int) int {
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	n := int(math.Floor(math.Pow(u, -1/alpha)))
+	if n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+package synth
+
+import (
+	"testing"
+
+	"shine/internal/metapath"
+	"shine/internal/shine"
+)
+
+// TestScaleEndToEnd exercises a network an order of magnitude larger
+// than the default experiments: generation, ingestion, learning and
+// linking must stay correct (and finish) at ~10k authors. Skipped in
+// -short mode.
+func TestScaleEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	net := DefaultDBLPConfig()
+	net.RegularAuthors = 2300 // near the name-pool limit
+	net.AmbiguousGroups = 40
+	net.MaxGroupSize = 20
+	net.Topics = 12
+	doc := DefaultDocConfig()
+	doc.NumDocs = 300
+
+	ds, err := BuildDataset(net, doc)
+	if err != nil {
+		t.Fatalf("BuildDataset: %v", err)
+	}
+	st := ds.Data.Graph.Stats()
+	if st.Objects < 10_000 {
+		t.Fatalf("scale dataset too small: %d objects", st.Objects)
+	}
+	if err := ds.Data.Graph.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	d := ds.Data.Schema
+	m, err := shine.New(ds.Data.Graph, d.Author, metapath.DBLPPaperPaths(d), ds.Corpus, shine.DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stats, err := m.Learn(ds.Corpus)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if stats.EMIterations < 1 {
+		t.Fatal("no EM iterations")
+	}
+	correct := 0
+	for _, docu := range ds.Corpus.Docs {
+		r, err := m.Link(docu)
+		if err != nil {
+			t.Fatalf("Link: %v", err)
+		}
+		if r.Entity == docu.Gold {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(ds.Corpus.Len())
+	if acc < 0.6 {
+		t.Errorf("scale accuracy %.3f below 0.6", acc)
+	}
+	t.Logf("scale run: %d objects, %d links, accuracy %.3f, %d EM iterations",
+		st.Objects, st.Links, acc, stats.EMIterations)
+}

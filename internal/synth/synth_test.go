@@ -1,0 +1,321 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"shine/internal/hin"
+	"shine/internal/namematch"
+	"shine/internal/textproc"
+)
+
+// smallDBLPConfig keeps unit-test generation fast.
+func smallDBLPConfig() DBLPConfig {
+	cfg := DefaultDBLPConfig()
+	cfg.RegularAuthors = 150
+	cfg.AmbiguousGroups = 5
+	cfg.Topics = 4
+	cfg.MaxPapersPerAuthor = 20
+	cfg.StarBoostMin = 10
+	return cfg
+}
+
+func TestGenerateDBLPShape(t *testing.T) {
+	cfg := smallDBLPConfig()
+	data, err := GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatalf("GenerateDBLP: %v", err)
+	}
+	st := data.Graph.Stats()
+	wantAuthors := cfg.RegularAuthors
+	for _, grp := range data.Groups {
+		wantAuthors += len(grp.Members)
+	}
+	if st.ObjectsByTyp["author"] != wantAuthors {
+		t.Errorf("authors = %d, want %d", st.ObjectsByTyp["author"], wantAuthors)
+	}
+	if st.ObjectsByTyp["venue"] != cfg.Topics*cfg.VenuesPerTopic {
+		t.Errorf("venues = %d, want %d", st.ObjectsByTyp["venue"], cfg.Topics*cfg.VenuesPerTopic)
+	}
+	if st.ObjectsByTyp["year"] != cfg.YearMax-cfg.YearMin+1 {
+		t.Errorf("years = %d", st.ObjectsByTyp["year"])
+	}
+	if st.ObjectsByTyp["paper"] == 0 {
+		t.Error("no papers generated")
+	}
+	if len(data.Groups) != cfg.AmbiguousGroups {
+		t.Errorf("groups = %d, want %d", len(data.Groups), cfg.AmbiguousGroups)
+	}
+	for _, grp := range data.Groups {
+		if len(grp.Members) < cfg.MinGroupSize || len(grp.Members) > cfg.MaxGroupSize {
+			t.Errorf("group %q has %d members, want [%d, %d]",
+				grp.Surface, len(grp.Members), cfg.MinGroupSize, cfg.MaxGroupSize)
+		}
+	}
+}
+
+func TestGenerateDBLPDeterministic(t *testing.T) {
+	cfg := smallDBLPConfig()
+	d1, err := GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Graph.NumObjects() != d2.Graph.NumObjects() || d1.Graph.NumLinks() != d2.Graph.NumLinks() {
+		t.Fatalf("same seed gave different graphs: %d/%d objects, %d/%d links",
+			d1.Graph.NumObjects(), d2.Graph.NumObjects(), d1.Graph.NumLinks(), d2.Graph.NumLinks())
+	}
+	for v := 0; v < d1.Graph.NumObjects(); v++ {
+		if d1.Graph.Name(hin.ObjectID(v)) != d2.Graph.Name(hin.ObjectID(v)) {
+			t.Fatalf("object %d named %q vs %q", v, d1.Graph.Name(hin.ObjectID(v)), d2.Graph.Name(hin.ObjectID(v)))
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	d3, err := GenerateDBLP(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Graph.NumLinks() == d1.Graph.NumLinks() && d3.Graph.NumObjects() == d1.Graph.NumObjects() {
+		// Extremely unlikely if the seed actually matters; check one
+		// name to be sure structure differs somewhere.
+		same := true
+		for v := 0; v < d1.Graph.NumObjects() && same; v++ {
+			same = d1.Graph.Name(hin.ObjectID(v)) == d3.Graph.Name(hin.ObjectID(v))
+		}
+		if same {
+			t.Error("different seeds gave identical graphs")
+		}
+	}
+}
+
+func TestGenerateDBLPAmbiguousNamesResolvable(t *testing.T) {
+	data, err := GenerateDBLP(smallDBLPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := namematch.BuildIndex(data.Graph, data.Schema.Author)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grp := range data.Groups {
+		cands := idx.Candidates(grp.Surface)
+		if len(cands) != len(grp.Members) {
+			t.Errorf("surface %q resolves to %d candidates, group has %d members",
+				grp.Surface, len(cands), len(grp.Members))
+		}
+	}
+}
+
+func TestGenerateDBLPTermWordsRoundTrip(t *testing.T) {
+	data, err := GenerateDBLP(smallDBLPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.TermWord) == 0 {
+		t.Fatal("no term words recorded")
+	}
+	for stem, word := range data.TermWord {
+		if got := textproc.NormalizeTerm(word); got != stem {
+			t.Errorf("TermWord[%q] = %q normalises to %q", stem, word, got)
+		}
+		if _, ok := data.Graph.Lookup(data.Schema.Term, stem); !ok {
+			t.Errorf("stem %q has no term object", stem)
+		}
+	}
+}
+
+func TestGenerateDBLPConfigValidation(t *testing.T) {
+	bad := []func(*DBLPConfig){
+		func(c *DBLPConfig) { c.RegularAuthors = -1 },
+		func(c *DBLPConfig) { c.AmbiguousGroups = 0 },
+		func(c *DBLPConfig) { c.MinGroupSize = 1 },
+		func(c *DBLPConfig) { c.MaxGroupSize = c.MinGroupSize - 1 },
+		func(c *DBLPConfig) { c.Topics = 0 },
+		func(c *DBLPConfig) { c.TermsPerTopic = 2 },
+		func(c *DBLPConfig) { c.YearMax = c.YearMin - 1 },
+		func(c *DBLPConfig) { c.ZipfAlpha = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultDBLPConfig()
+		mutate(&cfg)
+		if _, err := GenerateDBLP(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	// Too many names requested.
+	cfg := DefaultDBLPConfig()
+	cfg.RegularAuthors = 1_000_000
+	if _, err := GenerateDBLP(cfg); err == nil {
+		t.Error("impossible author count accepted")
+	}
+}
+
+func TestZipfCountBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ones := 0
+	for i := 0; i < 5000; i++ {
+		n := zipfCount(rng, 1.15, 60)
+		if n < 1 || n > 60 {
+			t.Fatalf("zipfCount out of range: %d", n)
+		}
+		if n == 1 {
+			ones++
+		}
+	}
+	// A Zipf-like productivity law has a majority of single-paper
+	// authors (in DBLP well over half).
+	if ones < 2500 {
+		t.Errorf("only %d/5000 single-paper draws; distribution not skewed", ones)
+	}
+}
+
+func TestGenerateDocs(t *testing.T) {
+	data, err := GenerateDBLP(smallDBLPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDocConfig()
+	cfg.NumDocs = 40
+	docs, err := GenerateDocs(data, cfg)
+	if err != nil {
+		t.Fatalf("GenerateDocs: %v", err)
+	}
+	if len(docs) != 40 {
+		t.Fatalf("got %d docs", len(docs))
+	}
+	memberOf := make(map[hin.ObjectID]string)
+	for _, grp := range data.Groups {
+		for _, m := range grp.Members {
+			memberOf[m] = grp.Surface
+		}
+	}
+	for _, doc := range docs {
+		if !strings.Contains(doc.Text, doc.Mention) {
+			t.Errorf("doc %s text does not contain its mention %q", doc.ID, doc.Mention)
+		}
+		if memberOf[doc.Gold] != doc.Mention {
+			t.Errorf("doc %s gold %d is not a member of group %q", doc.ID, doc.Gold, doc.Mention)
+		}
+	}
+}
+
+func TestGenerateDocsValidation(t *testing.T) {
+	data, err := GenerateDBLP(smallDBLPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDocConfig()
+	cfg.NumDocs = 0
+	if _, err := GenerateDocs(data, cfg); err == nil {
+		t.Error("zero docs accepted")
+	}
+	cfg = DefaultDocConfig()
+	cfg.MinCandidates = 1000
+	if _, err := GenerateDocs(data, cfg); err == nil {
+		t.Error("unsatisfiable MinCandidates accepted")
+	}
+	cfg = DefaultDocConfig()
+	cfg.CoauthorProb = 1.5
+	if _, err := GenerateDocs(data, cfg); err == nil {
+		t.Error("probability above 1 accepted")
+	}
+}
+
+func TestBuildDatasetIngestsGoldSignals(t *testing.T) {
+	netCfg := smallDBLPConfig()
+	docCfg := DefaultDocConfig()
+	docCfg.NumDocs = 30
+	ds, err := BuildDataset(netCfg, docCfg)
+	if err != nil {
+		t.Fatalf("BuildDataset: %v", err)
+	}
+	if ds.Corpus.Len() != 30 || len(ds.RawDocs) != 30 {
+		t.Fatalf("corpus %d docs, raw %d", ds.Corpus.Len(), len(ds.RawDocs))
+	}
+	// Ingested documents must carry typed objects: at least terms in
+	// every document (Terms sentence is unconditional).
+	empty := 0
+	for _, doc := range ds.Corpus.Docs {
+		if doc.TotalCount() == 0 {
+			empty++
+		}
+	}
+	if empty > 0 {
+		t.Errorf("%d of %d ingested documents have no objects", empty, ds.Corpus.Len())
+	}
+}
+
+func TestGenerateIMDB(t *testing.T) {
+	cfg := DefaultIMDBConfig()
+	cfg.RegularActors = 100
+	cfg.NumDocs = 20
+	data, err := GenerateIMDB(cfg)
+	if err != nil {
+		t.Fatalf("GenerateIMDB: %v", err)
+	}
+	st := data.Graph.Stats()
+	if st.ObjectsByTyp["genre"] != cfg.Genres {
+		t.Errorf("genres = %d", st.ObjectsByTyp["genre"])
+	}
+	if st.ObjectsByTyp["movie"] == 0 {
+		t.Error("no movies generated")
+	}
+	if len(data.RawDocs) != 20 || data.Corpus.Len() != 20 {
+		t.Fatalf("docs = %d raw, %d ingested", len(data.RawDocs), data.Corpus.Len())
+	}
+	for _, doc := range data.Corpus.Docs {
+		if doc.Gold == hin.NoObject {
+			t.Error("IMDb doc without gold label")
+		}
+	}
+	if _, err := GenerateIMDB(IMDBConfig{}); err == nil {
+		t.Error("zero-value IMDb config accepted")
+	}
+}
+
+func TestGenerateDocsNIL(t *testing.T) {
+	data, err := GenerateDBLP(smallDBLPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDocConfig()
+	cfg.NumDocs = 20
+	cfg.NILDocs = 10
+	docs, err := GenerateDocs(data, cfg)
+	if err != nil {
+		t.Fatalf("GenerateDocs: %v", err)
+	}
+	if len(docs) != 30 {
+		t.Fatalf("got %d docs, want 30", len(docs))
+	}
+	nils := 0
+	memberOf := make(map[hin.ObjectID]string)
+	for _, grp := range data.Groups {
+		for _, m := range grp.Members {
+			memberOf[m] = grp.Surface
+		}
+	}
+	for _, doc := range docs[20:] {
+		if doc.Gold != hin.NoObject {
+			t.Errorf("NIL doc %s has gold %d", doc.ID, doc.Gold)
+			continue
+		}
+		nils++
+		if !strings.Contains(doc.Text, doc.Mention) {
+			t.Errorf("NIL doc %s text missing mention", doc.ID)
+		}
+	}
+	if nils != 10 {
+		t.Errorf("nils = %d", nils)
+	}
+	// Negative count rejected.
+	cfg.NILDocs = -1
+	if _, err := GenerateDocs(data, cfg); err == nil {
+		t.Error("negative NILDocs accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package textproc
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// Fuzz targets double as robustness unit tests: `go test` runs the
+// seed corpus; `go test -fuzz=FuzzStem ./internal/textproc` explores
+// further.
+
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "running", "flies", "agreed", "ies", "sssss",
+		"caresses", "y", "yy", "bioinformatics", "zzzzed", "oed",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, word string) {
+		got := Stem(word) // must not panic
+		if len(got) > len(word) {
+			t.Errorf("Stem(%q) = %q grew the word", word, got)
+		}
+		if got2 := Stem(word); got2 != got {
+			t.Errorf("Stem(%q) nondeterministic: %q vs %q", word, got, got2)
+		}
+	})
+}
+
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "Wei Wang", "a.b,c", "日本語 text", "1999!", "---", "a\x80b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		toks := Tokenize(text)
+		prevEnd := 0
+		for _, tok := range toks {
+			if tok.Start < prevEnd || tok.End <= tok.Start || tok.End > len(text) {
+				t.Fatalf("token %+v has invalid offsets in %q", tok, text)
+			}
+			if text[tok.Start:tok.End] != tok.Text {
+				t.Fatalf("token %q does not slice back from [%d,%d)", tok.Text, tok.Start, tok.End)
+			}
+			prevEnd = tok.End
+		}
+	})
+}
+
+func FuzzNormalizeTerm(f *testing.F) {
+	for _, seed := range []string{"Mining", "don't", "1999", "ÅNGSTRÖM", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, tok string) {
+		got := NormalizeTerm(tok) // must not panic
+		for _, r := range got {
+			if r < 'a' || r > 'z' {
+				t.Errorf("NormalizeTerm(%q) = %q contains non a-z rune", tok, got)
+			}
+		}
+		if !utf8.ValidString(got) {
+			t.Errorf("NormalizeTerm(%q) produced invalid UTF-8", tok)
+		}
+	})
+}
+
+func FuzzDictionaryFindAll(f *testing.F) {
+	f.Add("Wei Wang and Richard R. Muntz at SIGMOD")
+	f.Add("")
+	f.Add("wang wang wang")
+	f.Fuzz(func(t *testing.T, text string) {
+		d := NewDictionary()
+		d.Add("Wei Wang", 1)
+		d.Add("Richard R. Muntz", 2)
+		d.Add("SIGMOD", 3)
+		toks := Tokenize(text)
+		matches := d.FindAll(toks)
+		prevEnd := 0
+		for _, m := range matches {
+			if m.TokenStart < prevEnd || m.TokenEnd <= m.TokenStart || m.TokenEnd > len(toks) {
+				t.Fatalf("match %+v overlaps or out of range", m)
+			}
+			prevEnd = m.TokenEnd
+		}
+	})
+}

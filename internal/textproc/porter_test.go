@@ -1,0 +1,146 @@
+package textproc
+
+import "testing"
+
+func TestStemKnownPairs(t *testing.T) {
+	// Canonical examples from Porter's paper and the reference
+	// implementation's vocabulary.
+	cases := map[string]string{
+		// Step 1a.
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// Step 1b.
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// Step 1c.
+		"happy": "happi",
+		"sky":   "sky",
+		// Step 2.
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// Step 3.
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// Step 4.
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// Step 5.
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// Domain words used by the DBLP experiments.
+		"mining":         "mine",
+		"databases":      "databas",
+		"bioinformatics": "bioinformat",
+		"computational":  "comput",
+		"biology":        "biologi", // m("bio") = 0, so step 2 leaves "logi"
+		"apology":        "apolog",  // m("apo") = 1, so step 2 rewrites "logi"
+		"learning":       "learn",
+		"networks":       "network",
+		"queries":        "queri",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "go"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemNonASCIIPassesThrough(t *testing.T) {
+	for _, w := range []string{"naïve", "sigmod14", "x-ray", "ABC"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged (non a-z input)", w, got)
+		}
+	}
+}
+
+func TestStemDeterministic(t *testing.T) {
+	// Porter stemming is not idempotent in general ("databas" stems
+	// further to "databa"), but it must be deterministic: repeated
+	// calls on the same input agree.
+	words := []string{
+		"mining", "databases", "learning", "relational", "networks",
+		"probabilistic", "heterogeneous", "information", "entities",
+	}
+	for _, w := range words {
+		if s1, s2 := Stem(w), Stem(w); s1 != s2 {
+			t.Errorf("Stem(%q) nondeterministic: %q vs %q", w, s1, s2)
+		}
+	}
+}
+
+func TestStemTinyShrinkage(t *testing.T) {
+	// Words that shrink to a single letter must not panic the later
+	// steps (regression guard for the k<1 bounds in steps 2 and 4).
+	for _, w := range []string{"ies", "eas", "oed", "aes"} {
+		_ = Stem(w)
+	}
+}

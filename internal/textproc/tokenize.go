@@ -1,0 +1,87 @@
+// Package textproc implements the text preprocessing pipeline of the
+// paper's experimental setting (Section 5.1): tokenisation, stop-word
+// filtering, Porter stemming, publication-year recognition and
+// dictionary-based exact matching of multi-word surface forms (author
+// and venue names).
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one token of an input document with its original position,
+// so multi-word dictionary matches can be reported as spans.
+type Token struct {
+	// Text is the token as it appeared, case preserved.
+	Text string
+	// Lower is the lowercase form used for matching.
+	Lower string
+	// Start and End are byte offsets into the original text.
+	Start, End int
+}
+
+// Tokenize splits text into tokens of consecutive letters or digits.
+// Punctuation and whitespace separate tokens and are dropped, matching
+// the paper's "removing all punctuation symbols" preprocessing.
+// Apostrophes and hyphens inside words split them ("don't" -> "don",
+// "t"), which is the behaviour of the simple scanner the paper's
+// pipeline implies.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	start := -1
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			tokens = append(tokens, newToken(text, start, i))
+			start = -1
+		}
+	}
+	if start >= 0 {
+		tokens = append(tokens, newToken(text, start, len(text)))
+	}
+	return tokens
+}
+
+func newToken(text string, start, end int) Token {
+	t := text[start:end]
+	return Token{Text: t, Lower: strings.ToLower(t), Start: start, End: end}
+}
+
+// IsYear reports whether the token is a plausible publication year.
+// The paper identifies year objects "using regular expression"; we
+// accept four-digit tokens from 1900 through 2099.
+func IsYear(tok string) bool {
+	if len(tok) != 4 {
+		return false
+	}
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return tok >= "1900" && tok <= "2099"
+}
+
+// NormalizeTerm lowercases, strips non-letters and stems a token,
+// returning the canonical term form used for term objects in the
+// network. It returns "" for tokens that normalise away entirely
+// (pure digits, punctuation artifacts).
+func NormalizeTerm(tok string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(tok) {
+		if r >= 'a' && r <= 'z' {
+			b.WriteRune(r)
+		}
+	}
+	w := b.String()
+	if w == "" {
+		return ""
+	}
+	return Stem(w)
+}
