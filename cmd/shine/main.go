@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -32,6 +35,7 @@ import (
 	"shine/internal/experiments"
 	"shine/internal/hin"
 	"shine/internal/metapath"
+	"shine/internal/obs"
 	"shine/internal/server"
 	"shine/internal/shine"
 	"shine/internal/synth"
@@ -108,8 +112,11 @@ Commands:
          Detect every entity mention in raw text (stdin or -in) and
          link each one, printing spans, entities and confidences.
   serve  -graph FILE -docs FILE [-model FILE] [-addr :8080] [-nil-prior F]
+         [-metrics=true] [-pprof] [-drain 10s]
          Serve the model over HTTP: /v1/link, /v1/annotate,
-         /v1/explain, /v1/entity, /v1/healthz.
+         /v1/explain, /v1/entity, /v1/healthz, plus Prometheus
+         metrics at /metrics and optional /debug/pprof profiling.
+         SIGINT/SIGTERM drains in-flight requests before exiting.
   bench  -exp NAME [-quick] [-csv DIR]
          Regenerate a paper experiment. Names: table2, table3, table4,
          table5, fig3, fig4, fig5, fig6, lambda, pruning, sgd,
@@ -590,6 +597,9 @@ func cmdServe(args []string) error {
 	modelPath := fs.String("model", "", "trained model file; omit to learn on startup")
 	addr := fs.String("addr", ":8080", "listen address")
 	nilPrior := fs.Float64("nil-prior", 0, "enable NIL detection on /v1/link with this prior")
+	metricsOn := fs.Bool("metrics", true, "expose Prometheus metrics at GET /metrics")
+	pprofOn := fs.Bool("pprof", false, "mount profiling handlers under /debug/pprof/")
+	drain := fs.Duration("drain", 10*time.Second, "connection drain deadline on SIGINT/SIGTERM")
 	fs.Parse(args)
 
 	g, err := loadGraph(*graphPath)
@@ -604,6 +614,9 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	// One registry for the whole process, wired before learning so a
+	// startup EM run's iteration metrics are visible on /metrics.
+	reg := obs.NewRegistry()
 	var m *shine.Model
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)
@@ -619,16 +632,52 @@ func cmdServe(args []string) error {
 		if m, err = shine.New(g, d.Author, metapath.DBLPPaperPaths(d), c, shine.DefaultConfig()); err != nil {
 			return err
 		}
+		m.SetMetrics(reg)
 		if _, err := m.Learn(c); err != nil {
 			return err
 		}
 	}
-	srv, err := server.New(m, corpus.DBLPIngestConfig(d), server.Options{NILPrior: *nilPrior})
+	srv, err := server.New(m, corpus.DBLPIngestConfig(d), server.Options{
+		NILPrior:          *nilPrior,
+		Metrics:           reg,
+		NoMetricsEndpoint: !*metricsOn,
+		Pprof:             *pprofOn,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %d objects on %s\n", g.NumObjects(), *addr)
-	return http.ListenAndServe(*addr, srv)
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Bound slow-loris header reads and idle keep-alive
+		// connections; request bodies are already capped by the
+		// server's MaxBodyBytes.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("serving %d objects on %s (metrics=%v pprof=%v)\n",
+		g.NumObjects(), *addr, *metricsOn, *pprofOn)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Second signal kills immediately; first drains in-flight
+		// requests up to the deadline.
+		stop()
+		fmt.Fprintf(os.Stderr, "shine: signal received, draining connections (deadline %v)\n", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
 }
 
 // ----------------------------------------------------------------- bench

@@ -27,12 +27,13 @@ import (
 type Walker struct {
 	g *hin.Graph
 
-	mu       sync.Mutex
-	cache    map[walkKey]*list.Element
-	order    *list.List // front = most recently used
-	capacity int
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	cache     map[walkKey]*list.Element
+	order     *list.List // front = most recently used
+	capacity  int
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type walkKey struct {
@@ -192,21 +193,35 @@ func (w *Walker) store(key walkKey, dist sparse.Vector) {
 		}
 		w.order.Remove(back)
 		delete(w.cache, back.Value.(*cacheEntry).key)
+		w.evictions++
 	}
 }
 
-// CacheStats reports cache occupancy and hit/miss counters.
+// CacheStats reports cache occupancy, hit/miss and eviction counters.
 type CacheStats struct {
-	Entries int
-	Hits    uint64
-	Misses  uint64
+	Entries   int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
 }
 
 // CacheStats returns a snapshot of the walker's cache counters.
 func (w *Walker) CacheStats() CacheStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return CacheStats{Entries: len(w.cache), Hits: w.hits, Misses: w.misses}
+	return CacheStats{Entries: len(w.cache), Hits: w.hits, Misses: w.misses, Evictions: w.evictions}
+}
+
+// Collect emits the walker's cache counters. The signature matches
+// the obs.Collector interface structurally, so an obs.Registry can
+// scrape a Walker without this package importing obs (which would be
+// an import cycle through shine).
+func (w *Walker) Collect(emit func(name string, value float64)) {
+	st := w.CacheStats()
+	emit("shine_walker_cache_entries", float64(st.Entries))
+	emit("shine_walker_cache_hits_total", float64(st.Hits))
+	emit("shine_walker_cache_misses_total", float64(st.Misses))
+	emit("shine_walker_cache_evictions_total", float64(st.Evictions))
 }
 
 // ClearCache discards all cached walk distributions.

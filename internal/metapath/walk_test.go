@@ -362,3 +362,44 @@ func TestWalkMixturePruned(t *testing.T) {
 		t.Error("pruned mixture mass exceeds exact")
 	}
 }
+
+func TestWalkerEvictionCounter(t *testing.T) {
+	d, g, ids := paperExample(t)
+	w := NewWalker(g, 2)
+	for _, spec := range []string{"A-P-V", "A-P-A", "A-P-T"} {
+		if _, err := w.Walk(ids["wei"], MustParse(d.Schema, spec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.CacheStats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (capacity 2, 3 distinct walks)", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+}
+
+func TestWalkerCollect(t *testing.T) {
+	d, g, ids := paperExample(t)
+	w := NewWalker(g, 2)
+	apv := MustParse(d.Schema, "A-P-V")
+	for i := 0; i < 3; i++ {
+		if _, err := w.Walk(ids["wei"], apv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]float64{}
+	w.Collect(func(name string, value float64) { got[name] = value })
+	want := map[string]float64{
+		"shine_walker_cache_entries":         1,
+		"shine_walker_cache_hits_total":      2,
+		"shine_walker_cache_misses_total":    1,
+		"shine_walker_cache_evictions_total": 0,
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v", name, got[name], v)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets spans 0.5 ms to 10 s — the range a request to the
+// SHINE server plausibly occupies, from cache-hit candidate lookups
+// to cold meta-path walks over hub entities.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with atomic counters: Observe
+// is lock-free and safe for concurrent use. Bounds are bucket upper
+// limits (inclusive, per Prometheus `le` semantics) in ascending
+// order; observations above the last bound land in an implicit +Inf
+// bucket.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	total   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %v", bounds[i]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the common
+// latency-recording call.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshot copies the per-bucket counts, total and sum. Buckets are
+// read individually, so a snapshot taken during concurrent Observe
+// calls may be off by in-flight observations — fine for monitoring.
+func (h *Histogram) snapshot() (counts []uint64, total uint64, sum float64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.total.Load(), h.Sum()
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation inside the bucket containing the target rank — the
+// same estimate Prometheus' histogram_quantile computes. Returns 0
+// with no observations; observations in the +Inf bucket clamp to the
+// largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	counts, total, _ := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (h.bounds[i]-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSummary condenses a histogram for logs and reports.
+type HistogramSummary struct {
+	Count         uint64
+	Sum           float64
+	P50, P95, P99 float64
+}
+
+// Summary returns count, sum and the p50/p95/p99 estimates.
+func (h *Histogram) Summary() HistogramSummary {
+	return HistogramSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

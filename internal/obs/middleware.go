@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// Metric names recorded by Middleware. Exported so tests and
+// dashboards reference the same strings the middleware writes.
+const (
+	MetricHTTPRequests       = "shine_http_requests_total"
+	MetricHTTPInFlight       = "shine_http_in_flight"
+	MetricHTTPRequestSeconds = "shine_http_request_seconds"
+)
+
+// Middleware instruments next under a fixed endpoint label,
+// recording:
+//
+//	shine_http_requests_total{endpoint,code}   per status class (2xx..5xx)
+//	shine_http_in_flight                       gauge, all endpoints
+//	shine_http_request_seconds{endpoint}       latency histogram
+//
+// The endpoint is a caller-supplied constant (the route pattern), not
+// the raw URL path, keeping label cardinality bounded.
+func (r *Registry) Middleware(endpoint string, next http.Handler) http.Handler {
+	// Pre-acquire every instrument so the request path is pure atomics.
+	classes := [6]*Counter{}
+	for class := 1; class <= 5; class++ {
+		classes[class] = r.Counter(MetricHTTPRequests,
+			"endpoint", endpoint, "code", statusClass(class*100))
+	}
+	inFlight := r.Gauge(MetricHTTPInFlight)
+	latency := r.Histogram(MetricHTTPRequestSeconds, nil, "endpoint", endpoint)
+
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		sw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, req)
+		latency.ObserveSince(start)
+		class := sw.status / 100
+		if class < 1 || class > 5 {
+			class = 5
+		}
+		classes[class].Inc()
+	})
+}
+
+// statusClass renders a status code as its Prometheus label ("2xx").
+func statusClass(code int) string {
+	switch code / 100 {
+	case 1:
+		return "1xx"
+	case 2:
+		return "2xx"
+	case 3:
+		return "3xx"
+	case 4:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// statusRecorder captures the response status for the counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

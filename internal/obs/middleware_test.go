@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestMiddlewareRecordsRequests(t *testing.T) {
+	r := NewRegistry()
+	var inFlightSeen float64
+	h := r.Middleware("/v1/thing", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		inFlightSeen = r.Gauge(MetricHTTPInFlight).Value()
+		switch req.URL.Query().Get("code") {
+		case "404":
+			w.WriteHeader(http.StatusNotFound)
+		case "500":
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.Write([]byte("ok")) // implicit 200
+		}
+	}))
+
+	for _, q := range []string{"", "", "?code=404", "?code=500"} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/thing"+q, nil))
+	}
+
+	if got := r.Counter(MetricHTTPRequests, "endpoint", "/v1/thing", "code", "2xx").Value(); got != 2 {
+		t.Errorf("2xx = %d, want 2", got)
+	}
+	if got := r.Counter(MetricHTTPRequests, "endpoint", "/v1/thing", "code", "4xx").Value(); got != 1 {
+		t.Errorf("4xx = %d, want 1", got)
+	}
+	if got := r.Counter(MetricHTTPRequests, "endpoint", "/v1/thing", "code", "5xx").Value(); got != 1 {
+		t.Errorf("5xx = %d, want 1", got)
+	}
+	if got := r.Histogram(MetricHTTPRequestSeconds, nil, "endpoint", "/v1/thing").Count(); got != 4 {
+		t.Errorf("latency observations = %d, want 4", got)
+	}
+	if inFlightSeen != 1 {
+		t.Errorf("in-flight during request = %v, want 1", inFlightSeen)
+	}
+	if got := r.Gauge(MetricHTTPInFlight).Value(); got != 0 {
+		t.Errorf("in-flight after requests = %v, want 0", got)
+	}
+}
+
+func TestMiddlewareConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Middleware("/x", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	var wg sync.WaitGroup
+	const n = 200
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/x", nil))
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter(MetricHTTPRequests, "endpoint", "/x", "code", "2xx").Value(); got != n {
+		t.Errorf("2xx = %d, want %d", got, n)
+	}
+	if got := r.Gauge(MetricHTTPInFlight).Value(); got != 0 {
+		t.Errorf("in-flight = %v, want 0", got)
+	}
+}

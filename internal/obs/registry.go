@@ -1,0 +1,344 @@
+// Package obs is a stdlib-only observability toolkit for the SHINE
+// serving system: a concurrent-safe metrics registry holding
+// counters, gauges and fixed-bucket histograms, Prometheus
+// text-format exposition, and an HTTP middleware that instruments a
+// handler per endpoint.
+//
+// Metrics are acquired get-or-create by (name, label set); repeated
+// acquisitions return the same instrument, so hot paths keep a
+// pointer and update it with atomic operations — no lock is taken on
+// the record path. External sources (for example the meta-path walker
+// cache, which the registry cannot import without a cycle) plug in
+// through the Collector interface, whose signature uses only builtin
+// types so implementors never need to import this package.
+//
+// Metric names follow Prometheus conventions: `snake_case`, a
+// `_total` suffix on counters, base units (seconds) in histogram
+// names.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (negative deltas decrease it).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Collector is anything that can contribute externally-owned metrics
+// at scrape time. The signature deliberately uses only builtin types
+// so packages the registry depends on (walker caches, pools) can
+// implement it structurally, without importing obs and creating an
+// import cycle. Emitted values are exposed as untyped Prometheus
+// samples.
+type Collector interface {
+	Collect(emit func(name string, value float64))
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// family groups every labelled instance of one metric name.
+type family struct {
+	kind   kind
+	bounds []float64 // histogram bucket bounds; nil otherwise
+	// metrics maps a canonical label signature (`{k="v",...}` or "")
+	// to the instrument.
+	metrics map[string]interface{}
+}
+
+// Registry is a concurrent-safe collection of metrics. The zero value
+// is not usable; construct with NewRegistry.
+type Registry struct {
+	mu         sync.RWMutex
+	families   map[string]*family
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter for name and the given label key-value
+// pairs, creating it on first use. It panics if name is already
+// registered as a different metric kind or labels has an odd length —
+// both are programming errors, not runtime conditions.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.metric(name, kindCounter, nil, labels).(*Counter)
+}
+
+// Gauge returns the gauge for name and labels, creating it on first
+// use. Panics on kind mismatch, like Counter.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.metric(name, kindGauge, nil, labels).(*Gauge)
+}
+
+// Histogram returns the histogram for name and labels, creating it on
+// first use with the given bucket upper bounds (nil selects
+// DefLatencyBuckets). Every instance of one name shares one bound
+// set; a conflicting bounds argument panics.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	return r.metric(name, kindHistogram, bounds, labels).(*Histogram)
+}
+
+// Register adds a collector scraped on every exposition. Registering
+// the same collector again is a no-op, so idempotent wiring code can
+// call it freely.
+func (r *Registry) Register(c Collector) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, existing := range r.collectors {
+		if existing == c {
+			return
+		}
+	}
+	r.collectors = append(r.collectors, c)
+}
+
+func (r *Registry) metric(name string, k kind, bounds []float64, labels []string) interface{} {
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{kind: k, metrics: make(map[string]interface{})}
+		if k == kindHistogram {
+			if bounds == nil {
+				bounds = DefLatencyBuckets
+			}
+			fam.bounds = append([]float64(nil), bounds...)
+		}
+		r.families[name] = fam
+	}
+	if fam.kind != k {
+		panic(fmt.Sprintf("obs: metric %q is a %s, requested as %s", name, fam.kind, k))
+	}
+	if k == kindHistogram && bounds != nil && !equalBounds(fam.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-acquired with different buckets", name))
+	}
+	if m, ok := fam.metrics[sig]; ok {
+		return m
+	}
+	var m interface{}
+	switch k {
+	case kindCounter:
+		m = &Counter{}
+	case kindGauge:
+		m = &Gauge{}
+	case kindHistogram:
+		m = newHistogram(fam.bounds)
+	}
+	fam.metrics[sig] = m
+	return m
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// labelSignature canonicalises label pairs into the exposition form
+// `{k1="v1",k2="v2"}` with keys sorted, or "" for no labels. An odd
+// number of label arguments panics.
+func labelSignature(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, pair{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(p.v))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// withLabel splices one more label pair into a canonical signature —
+// used to add `le` to a histogram series' labels.
+func withLabel(sig, key, value string) string {
+	extra := key + `="` + escapeLabelValue(value) + `"`
+	if sig == "" {
+		return "{" + extra + "}"
+	}
+	return sig[:len(sig)-1] + "," + extra + "}"
+}
+
+// WritePrometheus writes every metric in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name and
+// series sorted by label signature, then every registered collector's
+// samples. Deterministic output for a fixed state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.RUnlock()
+
+	var err error
+	pr := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for i, name := range names {
+		fam := fams[i]
+		pr("# TYPE %s %s\n", name, fam.kind)
+		sigs := make([]string, 0, len(fam.metrics))
+		for sig := range fam.metrics {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			switch m := fam.metrics[sig].(type) {
+			case *Counter:
+				pr("%s%s %d\n", name, sig, m.Value())
+			case *Gauge:
+				pr("%s%s %s\n", name, sig, formatFloat(m.Value()))
+			case *Histogram:
+				counts, total, sum := m.snapshot()
+				cum := uint64(0)
+				for bi, bound := range m.bounds {
+					cum += counts[bi]
+					pr("%s_bucket%s %d\n", name, withLabel(sig, "le", formatFloat(bound)), cum)
+				}
+				pr("%s_bucket%s %d\n", name, withLabel(sig, "le", "+Inf"), total)
+				pr("%s_sum%s %s\n", name, sig, formatFloat(sum))
+				pr("%s_count%s %d\n", name, sig, total)
+			}
+		}
+	}
+	for _, c := range collectors {
+		c.Collect(func(name string, value float64) {
+			pr("%s %s\n", name, formatFloat(value))
+		})
+	}
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the GET /metrics endpoint serving WritePrometheus.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("events_total", "kind", "x")
+	b := r.Counter("events_total", "kind", "x")
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("events_total", "kind", "y")
+	if a == other {
+		t.Error("different labels returned the same counter")
+	}
+	a.Inc()
+	a.Add(4)
+	if got := b.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "b", "2", "a", "1")
+	b := r.Counter("c_total", "a", "1", "b", "2")
+	if a != b {
+		t.Error("label order changed metric identity")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth")
+	g.Set(7)
+	g.Add(-2.5)
+	if got := g.Value(); got != 4.5 {
+		t.Errorf("gauge = %v, want 4.5", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Error("acquiring a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("odd label list did not panic")
+		}
+	}()
+	r.Counter("x_total", "dangling")
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h_seconds", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting bucket bounds did not panic")
+		}
+	}()
+	r.Histogram("h_seconds", []float64{1, 2, 3})
+}
+
+type staticCollector struct {
+	name  string
+	value float64
+}
+
+func (c *staticCollector) Collect(emit func(string, float64)) {
+	emit(c.name, c.value)
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "endpoint", "/v1/link", "code", "2xx").Add(3)
+	r.Gauge("in_flight").Set(2)
+	h := r.Histogram("lat_seconds", []float64{0.1, 1}, "endpoint", "/v1/link")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	col := &staticCollector{name: "cache_hits_total", value: 42}
+	r.Register(col)
+	r.Register(col) // idempotent
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE req_total counter",
+		`req_total{code="2xx",endpoint="/v1/link"} 3`,
+		"# TYPE in_flight gauge",
+		"in_flight 2",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{endpoint="/v1/link",le="0.1"} 1`,
+		`lat_seconds_bucket{endpoint="/v1/link",le="1"} 2`,
+		`lat_seconds_bucket{endpoint="/v1/link",le="+Inf"} 3`,
+		`lat_seconds_sum{endpoint="/v1/link"} 5.55`,
+		`lat_seconds_count{endpoint="/v1/link"} 3`,
+		"cache_hits_total 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "cache_hits_total 42") != 1 {
+		t.Error("double-registered collector emitted twice")
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "q", `a"b\c`+"\n").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `weird_total{q="a\"b\\c\n"} 1`) {
+		t.Errorf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("hits_total").Inc()
+				r.Gauge("depth").Add(1)
+				r.Histogram("lat_seconds", nil).Observe(0.01)
+			}
+		}()
+	}
+	// Scrape concurrently with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("hits_total").Value(); got != 4000 {
+		t.Errorf("hits_total = %d, want 4000", got)
+	}
+	if got := r.Histogram("lat_seconds", nil).Count(); got != 4000 {
+		t.Errorf("histogram count = %d, want 4000", got)
+	}
+}

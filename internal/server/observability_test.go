@@ -1,0 +1,211 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"shine/internal/obs"
+	"shine/internal/shine"
+)
+
+func do(s *Server, method, target, body string) *httptest.ResponseRecorder {
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, target, nil)
+	} else {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	return w
+}
+
+func TestMethodEnforcement(t *testing.T) {
+	s, _ := testServer(t, Options{})
+	cases := []struct {
+		path    string
+		allowed string // the one accepted method
+	}{
+		{"/v1/link", http.MethodPost},
+		{"/v1/annotate", http.MethodPost},
+		{"/v1/explain", http.MethodPost},
+		{"/v1/candidates", http.MethodGet},
+		{"/v1/entity", http.MethodGet},
+		{"/v1/healthz", http.MethodGet},
+		{"/metrics", http.MethodGet},
+	}
+	methods := []string{
+		http.MethodGet, http.MethodPost, http.MethodPut,
+		http.MethodDelete, http.MethodPatch, http.MethodHead,
+	}
+	for _, tc := range cases {
+		for _, method := range methods {
+			t.Run(method+" "+tc.path, func(t *testing.T) {
+				w := do(s, method, tc.path, "")
+				if method == tc.allowed {
+					if w.Code == http.StatusMethodNotAllowed {
+						t.Errorf("%s %s rejected with 405", method, tc.path)
+					}
+					return
+				}
+				if w.Code != http.StatusMethodNotAllowed {
+					t.Errorf("%s %s = %d, want 405", method, tc.path, w.Code)
+				}
+				if allow := w.Header().Get("Allow"); allow != tc.allowed {
+					t.Errorf("%s %s Allow = %q, want %q", method, tc.path, allow, tc.allowed)
+				}
+			})
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := testServer(t, Options{})
+	// Generate some traffic first.
+	postJSON(t, s, "/v1/link",
+		`{"mention": "Wei Wang", "text": "Wei Wang works on data at SIGMOD"}`)
+	do(s, http.MethodGet, "/v1/healthz", "")
+
+	w := do(s, http.MethodGet, "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`shine_http_requests_total{code="2xx",endpoint="/v1/link"} 1`,
+		`shine_http_requests_total{code="2xx",endpoint="/v1/healthz"} 1`,
+		`shine_http_request_seconds_bucket{endpoint="/v1/link",le="+Inf"} 1`,
+		"# TYPE shine_http_request_seconds histogram",
+		"shine_link_total 1",
+		"shine_link_seconds_count 1",
+		"shine_walker_cache_hits_total",
+		"shine_walker_cache_misses_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestMetricsEndpointDisabled(t *testing.T) {
+	s, _ := testServer(t, Options{NoMetricsEndpoint: true})
+	if w := do(s, http.MethodGet, "/metrics", ""); w.Code != http.StatusNotFound {
+		t.Errorf("GET /metrics with NoMetricsEndpoint = %d, want 404", w.Code)
+	}
+	// Instrumentation still runs on the private registry.
+	do(s, http.MethodGet, "/v1/healthz", "")
+	got := s.Metrics().Counter(obs.MetricHTTPRequests,
+		"endpoint", "/v1/healthz", "code", "2xx").Value()
+	if got != 1 {
+		t.Errorf("healthz counter = %d, want 1", got)
+	}
+}
+
+func TestSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("preexisting_total").Inc()
+	s, _ := testServer(t, Options{Metrics: reg})
+	if s.Metrics() != reg {
+		t.Fatal("server did not adopt the provided registry")
+	}
+	w := do(s, http.MethodGet, "/metrics", "")
+	if !strings.Contains(w.Body.String(), "preexisting_total 1") {
+		t.Error("caller-owned metrics missing from exposition")
+	}
+}
+
+func TestPprofMounting(t *testing.T) {
+	s, _ := testServer(t, Options{Pprof: true})
+	w := do(s, http.MethodGet, "/debug/pprof/", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "goroutine") {
+		t.Errorf("pprof index = %d %q", w.Code, w.Body.String()[:min(80, w.Body.Len())])
+	}
+	w = do(s, http.MethodGet, "/debug/pprof/cmdline", "")
+	if w.Code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d", w.Code)
+	}
+
+	off, _ := testServer(t, Options{})
+	if w := do(off, http.MethodGet, "/debug/pprof/", ""); w.Code != http.StatusNotFound {
+		t.Errorf("pprof without opt-in = %d, want 404", w.Code)
+	}
+}
+
+// TestConcurrentRequestsMetricsReconcile hammers the server from many
+// goroutines and asserts the metrics agree exactly with the requests
+// sent — the accounting half of the subsystem's contract. Run under
+// -race this also exercises every registry/middleware/model path for
+// data races.
+func TestConcurrentRequestsMetricsReconcile(t *testing.T) {
+	s, _ := testServer(t, Options{})
+	const workers = 8
+	const perWorker = 6
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch (seed + i) % 3 {
+				case 0:
+					do(s, http.MethodPost, "/v1/link",
+						`{"mention": "Wei Wang", "text": "Wei Wang works on data at SIGMOD"}`)
+				case 1:
+					do(s, http.MethodPost, "/v1/annotate",
+						`{"text": "Wei Wang collaborates with Richard R. Muntz on data."}`)
+				case 2:
+					// Unknown mention: 404, a 4xx sample.
+					do(s, http.MethodPost, "/v1/link",
+						`{"mention": "Nobody Known", "text": "x"}`)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := workers * perWorker
+	perKind := total / 3
+	reg := s.Metrics()
+	link2xx := reg.Counter(obs.MetricHTTPRequests, "endpoint", "/v1/link", "code", "2xx").Value()
+	link4xx := reg.Counter(obs.MetricHTTPRequests, "endpoint", "/v1/link", "code", "4xx").Value()
+	ann2xx := reg.Counter(obs.MetricHTTPRequests, "endpoint", "/v1/annotate", "code", "2xx").Value()
+	if link2xx != uint64(perKind) {
+		t.Errorf("link 2xx = %d, want %d", link2xx, perKind)
+	}
+	if link4xx != uint64(perKind) {
+		t.Errorf("link 4xx = %d, want %d", link4xx, perKind)
+	}
+	if ann2xx != uint64(perKind) {
+		t.Errorf("annotate 2xx = %d, want %d", ann2xx, perKind)
+	}
+	if got := reg.Histogram(obs.MetricHTTPRequestSeconds, nil, "endpoint", "/v1/link").Count(); got != uint64(2*perKind) {
+		t.Errorf("link latency observations = %d, want %d", got, 2*perKind)
+	}
+	if got := reg.Gauge(obs.MetricHTTPInFlight).Value(); got != 0 {
+		t.Errorf("in-flight after drain = %v, want 0", got)
+	}
+	// Model-level counters: every /v1/link call links once; annotate
+	// links once per detected mention (>= 1), so the model total is at
+	// least the HTTP link traffic.
+	if got := reg.Counter(shine.MetricLinkTotal).Value(); got < uint64(2*perKind) {
+		t.Errorf("model link total = %d, want >= %d", got, 2*perKind)
+	}
+	if got := reg.Counter(shine.MetricLinkFailures).Value(); got != uint64(perKind) {
+		t.Errorf("model link failures = %d, want %d", got, perKind)
+	}
+
+	// The exposition itself must carry the same numbers.
+	w := do(s, http.MethodGet, "/metrics", "")
+	if !strings.Contains(w.Body.String(),
+		fmt.Sprintf(`shine_http_requests_total{code="2xx",endpoint="/v1/link"} %d`, perKind)) {
+		t.Error("exposition disagrees with counter value")
+	}
+}

@@ -11,6 +11,14 @@
 //	GET  /v1/candidates?mention=NAME[&loose=1]                  -> candidate entities
 //	GET  /v1/entity?id=N                                        -> entity card
 //	GET  /v1/healthz                                            -> liveness
+//	GET  /metrics                                               -> Prometheus exposition
+//	GET  /debug/pprof/*                                         -> profiling (opt-in)
+//
+// Every endpoint accepts exactly one method; anything else is 405
+// with an Allow header. Requests are instrumented per endpoint
+// (counts by status class, in-flight gauge, latency histograms) into
+// an obs.Registry, and the model's own link/EM/walker-cache metrics
+// land in the same registry — one scrape shows the whole system.
 package server
 
 import (
@@ -19,12 +27,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"shine/internal/annotate"
 	"shine/internal/corpus"
 	"shine/internal/hin"
 	"shine/internal/namematch"
+	"shine/internal/obs"
 	"shine/internal/shine"
 )
 
@@ -44,6 +54,8 @@ type Server struct {
 	nilPrior float64
 	// logger, when set, records one line per request.
 	logger *log.Logger
+	// metrics holds every instrument the server and model record.
+	metrics *obs.Registry
 }
 
 // Options configures the server.
@@ -61,6 +73,18 @@ type Options struct {
 	// EntityType is the type whose names /v1/candidates searches. The
 	// zero value uses the type the model's meta-paths start at.
 	EntityType hin.TypeID
+	// Metrics, when set, receives all request and model
+	// instrumentation; when nil the server creates a private registry.
+	// Share one registry between training and serving so EM metrics
+	// survive into the serving exposition.
+	Metrics *obs.Registry
+	// NoMetricsEndpoint hides GET /metrics. Instrumentation still
+	// runs; the registry stays reachable through Server.Metrics.
+	NoMetricsEndpoint bool
+	// Pprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/. Off by default: profiles expose internals, so a
+	// deployment opts in explicitly.
+	Pprof bool
 }
 
 // New builds a server over a (typically trained) model.
@@ -91,6 +115,10 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 	if err != nil {
 		return nil, fmt.Errorf("server: indexing entity names: %w", err)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		model:        m,
 		ingester:     ing,
@@ -100,14 +128,50 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 		maxBodyBytes: opts.MaxBodyBytes,
 		nilPrior:     opts.NILPrior,
 		logger:       opts.Logger,
+		metrics:      reg,
 	}
-	s.mux.HandleFunc("/v1/link", s.handleLink)
-	s.mux.HandleFunc("/v1/annotate", s.handleAnnotate)
-	s.mux.HandleFunc("/v1/explain", s.handleExplain)
-	s.mux.HandleFunc("/v1/candidates", s.handleCandidates)
-	s.mux.HandleFunc("/v1/entity", s.handleEntity)
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	// Instrument the model into the same registry (idempotent if the
+	// caller already did); no requests are flowing yet, so this cannot
+	// race with Link.
+	m.SetMetrics(reg)
+	s.route(http.MethodPost, "/v1/link", s.handleLink)
+	s.route(http.MethodPost, "/v1/annotate", s.handleAnnotate)
+	s.route(http.MethodPost, "/v1/explain", s.handleExplain)
+	s.route(http.MethodGet, "/v1/candidates", s.handleCandidates)
+	s.route(http.MethodGet, "/v1/entity", s.handleEntity)
+	s.route(http.MethodGet, "/v1/healthz", s.handleHealthz)
+	if !opts.NoMetricsEndpoint {
+		s.route(http.MethodGet, "/metrics", reg.Handler().ServeHTTP)
+	}
+	if opts.Pprof {
+		// Explicit handlers on our mux — importing net/http/pprof
+		// also touches http.DefaultServeMux, which we never serve.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// Metrics returns the server's registry — the place to scrape or to
+// record deployment-specific metrics alongside the server's own.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// route mounts a handler that accepts exactly one method, wrapped in
+// the per-endpoint instrumentation middleware (so rejected methods
+// are counted too).
+func (s *Server) route(method, path string, h http.HandlerFunc) {
+	enforced := func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			httpError(w, http.StatusMethodNotAllowed, method+" required")
+			return
+		}
+		h(w, r)
+	}
+	s.mux.Handle(path, s.metrics.Middleware(path, http.HandlerFunc(enforced)))
 }
 
 // ServeHTTP implements http.Handler, logging one line per request
@@ -294,10 +358,6 @@ type candidatesResponse struct {
 }
 
 func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	mention := r.URL.Query().Get("mention")
 	if mention == "" {
 		httpError(w, http.StatusBadRequest, "mention is required")
@@ -332,10 +392,6 @@ type entityResponse struct {
 }
 
 func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	var id int32
 	if _, err := fmt.Sscanf(r.URL.Query().Get("id"), "%d", &id); err != nil {
 		httpError(w, http.StatusBadRequest, "id must be an integer")
@@ -365,12 +421,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // ---------------------------------------------------------------- helpers
 
 // readJSON decodes a POST body, writing the error response itself on
-// failure.
+// failure. Method enforcement happens in route, before any handler
+// runs.
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, into interface{}) bool {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return false
-	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {

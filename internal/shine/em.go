@@ -66,6 +66,7 @@ func (m *Model) Learn(c *corpus.Corpus) (*LearnStats, error) {
 	emStart := time.Now()
 	prev := append([]float64(nil), w...)
 	for iter := 0; iter < m.cfg.MaxEMIterations; iter++ {
+		iterStart := time.Now()
 		// E-step (Formula 18): E(π(m,d,e)) = P(m,d,e) / Σ_e' P(m,d,e').
 		for i, md := range mds {
 			logs := make([]float64, len(md.cands))
@@ -87,6 +88,7 @@ func (m *Model) Learn(c *corpus.Corpus) (*LearnStats, error) {
 		stats.Objective = append(stats.Objective, jAfter)
 		stats.MStepGain = append(stats.MStepGain, jAfter-jBefore)
 		stats.Weights = append(stats.Weights, append([]float64(nil), w...))
+		m.metrics.observeEMIteration(iterStart, jAfter)
 
 		delta := 0.0
 		for k := range w {

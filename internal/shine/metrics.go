@@ -1,0 +1,126 @@
+package shine
+
+import (
+	"time"
+
+	"shine/internal/hin"
+	"shine/internal/obs"
+)
+
+// Metric names recorded by an instrumented Model. Exported as
+// constants so the server, tests and dashboards reference the exact
+// strings the model writes.
+const (
+	// MetricLinkSeconds is the latency histogram of Link/LinkNIL calls.
+	MetricLinkSeconds = "shine_link_seconds"
+	// MetricLinkCandidates is the candidate-set-size histogram of
+	// successful link calls (including the NIL pseudo-candidate in NIL
+	// mode).
+	MetricLinkCandidates = "shine_link_candidates"
+	// MetricLinkTotal counts Link/LinkNIL calls.
+	MetricLinkTotal = "shine_link_total"
+	// MetricLinkFailures counts link calls that returned an error
+	// (no candidates, walk failures).
+	MetricLinkFailures = "shine_link_failures_total"
+	// MetricLinkNIL counts NIL decisions — mentions resolved to no
+	// entity.
+	MetricLinkNIL = "shine_link_nil_total"
+	// MetricBatchFailures counts per-document failures inside batch
+	// linking (LinkAllParallel) — the partial-failure signal.
+	MetricBatchFailures = "shine_link_batch_failures_total"
+	// MetricEMIterations counts EM iterations across Learn calls.
+	MetricEMIterations = "shine_em_iterations_total"
+	// MetricEMIterationSeconds is the per-EM-iteration duration
+	// histogram.
+	MetricEMIterationSeconds = "shine_em_iteration_seconds"
+	// MetricEMLogLikelihood is the M-step objective J (the expected
+	// complete-data log-likelihood term of Formula 22) after the most
+	// recent EM iteration.
+	MetricEMLogLikelihood = "shine_em_log_likelihood"
+)
+
+// candidateBuckets bound the candidate-set-size histogram; ambiguity
+// in real networks is small-integer-valued with a heavy tail.
+var candidateBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+
+// modelMetrics bundles the model's instruments. A nil *modelMetrics
+// is valid and records nothing, so every hot path pays one pointer
+// check when uninstrumented.
+type modelMetrics struct {
+	linkSeconds    *obs.Histogram
+	linkCandidates *obs.Histogram
+	linkTotal      *obs.Counter
+	linkFailures   *obs.Counter
+	linkNIL        *obs.Counter
+	batchFailures  *obs.Counter
+	emIterations   *obs.Counter
+	emIterSeconds  *obs.Histogram
+	emLogLik       *obs.Gauge
+}
+
+// SetMetrics instruments the model against a registry: link latency,
+// candidate-set sizes, NIL decisions and failures are recorded per
+// call, EM iterations per Learn, and the walker cache is registered
+// as a collector so its hit/miss/eviction counters appear in the
+// registry's exposition. A nil registry removes instrumentation.
+//
+// Call before serving traffic or learning; like SetWeights, SetMetrics
+// must not race with concurrent Link calls. Calling it again with the
+// same registry is idempotent. After Rebind (which replaces the
+// walker), call SetMetrics again to scrape the new walker's cache.
+func (m *Model) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		m.metrics = nil
+		return
+	}
+	reg.Register(m.walker)
+	m.metrics = &modelMetrics{
+		linkSeconds:    reg.Histogram(MetricLinkSeconds, nil),
+		linkCandidates: reg.Histogram(MetricLinkCandidates, candidateBuckets),
+		linkTotal:      reg.Counter(MetricLinkTotal),
+		linkFailures:   reg.Counter(MetricLinkFailures),
+		linkNIL:        reg.Counter(MetricLinkNIL),
+		batchFailures:  reg.Counter(MetricBatchFailures),
+		emIterations:   reg.Counter(MetricEMIterations),
+		emIterSeconds:  reg.Histogram(MetricEMIterationSeconds, nil),
+		emLogLik:       reg.Gauge(MetricEMLogLikelihood),
+	}
+}
+
+// observeLink records the outcome of one link call. Safe on a nil
+// receiver (uninstrumented model).
+func (mm *modelMetrics) observeLink(start time.Time, res Result, err error) {
+	if mm == nil {
+		return
+	}
+	mm.linkTotal.Inc()
+	mm.linkSeconds.ObserveSince(start)
+	if err != nil {
+		mm.linkFailures.Inc()
+		return
+	}
+	mm.linkCandidates.Observe(float64(len(res.Candidates)))
+	if res.Entity == hin.NoObject {
+		mm.linkNIL.Inc()
+	}
+}
+
+// observeEMIteration records one EM iteration's duration and
+// objective. Safe on a nil receiver.
+func (mm *modelMetrics) observeEMIteration(start time.Time, objective float64) {
+	if mm == nil {
+		return
+	}
+	mm.emIterations.Inc()
+	mm.emIterSeconds.ObserveSince(start)
+	mm.emLogLik.Set(objective)
+}
+
+// observeBatchFailures records per-document failures from a batch
+// link. Safe on a nil receiver.
+func (mm *modelMetrics) observeBatchFailures(n int) {
+	if mm == nil || n <= 0 {
+		return
+	}
+	mm.batchFailures.Add(uint64(n))
+}

@@ -1,0 +1,140 @@
+package shine
+
+import (
+	"strings"
+	"testing"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/obs"
+)
+
+func TestLinkMetrics(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	reg := obs.NewRegistry()
+	m.SetMetrics(reg)
+
+	if _, err := m.Link(f.docA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Link(f.docB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Link(corpus.NewDocument("x", "Unknown Person", hin.NoObject, nil)); err == nil {
+		t.Fatal("unknown mention linked")
+	}
+
+	if got := reg.Counter(MetricLinkTotal).Value(); got != 3 {
+		t.Errorf("link total = %d, want 3", got)
+	}
+	if got := reg.Counter(MetricLinkFailures).Value(); got != 1 {
+		t.Errorf("link failures = %d, want 1", got)
+	}
+	lat := reg.Histogram(MetricLinkSeconds, nil)
+	if got := lat.Count(); got != 3 {
+		t.Errorf("latency observations = %d, want 3", got)
+	}
+	// Both Wei Wang docs have 2 candidates; failures record none.
+	cands := reg.Histogram(MetricLinkCandidates, nil)
+	if got := cands.Count(); got != 2 {
+		t.Errorf("candidate observations = %d, want 2", got)
+	}
+	if got := cands.Sum(); got != 4 {
+		t.Errorf("candidate sum = %v, want 4", got)
+	}
+}
+
+func TestLinkNILMetrics(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	reg := obs.NewRegistry()
+	m.SetMetrics(reg)
+
+	// An unknown surface form in NIL mode is a NIL prediction, not an
+	// error.
+	r, err := m.LinkNIL(corpus.NewDocument("x", "Unknown Person", hin.NoObject, nil), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Entity != hin.NoObject {
+		t.Fatalf("unknown mention resolved to %v", r.Entity)
+	}
+	if got := reg.Counter(MetricLinkNIL).Value(); got != 1 {
+		t.Errorf("NIL decisions = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricLinkFailures).Value(); got != 0 {
+		t.Errorf("failures = %d, want 0", got)
+	}
+}
+
+func TestLearnMetrics(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	reg := obs.NewRegistry()
+	m.SetMetrics(reg)
+
+	stats, err := m.Learn(f.corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricEMIterations).Value(); got != uint64(stats.EMIterations) {
+		t.Errorf("EM iterations metric = %d, stats say %d", got, stats.EMIterations)
+	}
+	if got := reg.Histogram(MetricEMIterationSeconds, nil).Count(); got != uint64(stats.EMIterations) {
+		t.Errorf("EM duration observations = %d, want %d", got, stats.EMIterations)
+	}
+	wantJ := stats.Objective[len(stats.Objective)-1]
+	if got := reg.Gauge(MetricEMLogLikelihood).Value(); got != wantJ {
+		t.Errorf("log-likelihood gauge = %v, want %v", got, wantJ)
+	}
+}
+
+func TestBatchFailureMetric(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	reg := obs.NewRegistry()
+	m.SetMetrics(reg)
+
+	c := &corpus.Corpus{}
+	c.Add(f.docA)
+	c.Add(corpus.NewDocument("bad", "Unknown Person", hin.NoObject, nil))
+	if _, failed, err := m.LinkAllParallel(c, 2); err != nil || failed != 1 {
+		t.Fatalf("failed=%d err=%v, want 1/nil", failed, err)
+	}
+	if got := reg.Counter(MetricBatchFailures).Value(); got != 1 {
+		t.Errorf("batch failures = %d, want 1", got)
+	}
+}
+
+func TestSetMetricsRegistersWalkerCollector(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	reg := obs.NewRegistry()
+	m.SetMetrics(reg)
+	m.SetMetrics(reg) // idempotent
+
+	if _, err := m.Link(f.docA); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "shine_walker_cache_misses_total") {
+		t.Errorf("walker cache counters missing from exposition:\n%s", out)
+	}
+	if strings.Count(out, "shine_walker_cache_entries") != 1 {
+		t.Error("walker collector registered twice")
+	}
+}
+
+func TestUninstrumentedModelLinks(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	m.SetMetrics(nil)
+	if _, err := m.Link(f.docA); err != nil {
+		t.Fatal(err)
+	}
+}

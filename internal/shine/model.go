@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"shine/internal/corpus"
 	"shine/internal/hin"
@@ -35,6 +36,9 @@ type Model struct {
 	index      *namematch.Index
 	walker     *metapath.Walker
 	generic    *corpus.GenericModel
+	// metrics, when non-nil, instruments link and EM hot paths; see
+	// SetMetrics.
+	metrics *modelMetrics
 }
 
 // New builds a model: it computes the entity popularity offline (the
@@ -247,6 +251,17 @@ type Result struct {
 // Link resolves the document's mention to its most likely entity
 // (Problem 1: argmax_e P(e|m, d)).
 func (m *Model) Link(doc *corpus.Document) (Result, error) {
+	mm := m.metrics
+	var start time.Time
+	if mm != nil {
+		start = time.Now()
+	}
+	res, err := m.link(doc)
+	mm.observeLink(start, res, err)
+	return res, err
+}
+
+func (m *Model) link(doc *corpus.Document) (Result, error) {
 	cands := m.index.Candidates(doc.Mention)
 	if len(cands) == 0 {
 		return Result{Entity: hin.NoObject}, fmt.Errorf("%w: %q", ErrNoCandidates, doc.Mention)

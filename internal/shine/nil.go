@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"shine/internal/corpus"
 	"shine/internal/hin"
@@ -47,6 +48,17 @@ const NILPrior = 0.05
 // Unlike Link, a mention whose surface form matches no entity at all
 // is not an error here: it is a NIL prediction with posterior 1.
 func (m *Model) LinkNIL(doc *corpus.Document, nilPrior float64) (Result, error) {
+	mm := m.metrics
+	var start time.Time
+	if mm != nil {
+		start = time.Now()
+	}
+	res, err := m.linkNIL(doc, nilPrior)
+	mm.observeLink(start, res, err)
+	return res, err
+}
+
+func (m *Model) linkNIL(doc *corpus.Document, nilPrior float64) (Result, error) {
 	if nilPrior <= 0 || nilPrior >= 1 {
 		return Result{}, fmt.Errorf("shine: NIL prior %v outside (0, 1)", nilPrior)
 	}

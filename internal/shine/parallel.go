@@ -14,7 +14,14 @@ import (
 // uses GOMAXPROCS. The paper's implementation is single-threaded
 // ("we do not utilize the parallel computing technique"); linking is
 // embarrassingly parallel, so a serving deployment should not be.
-func (m *Model) LinkAllParallel(c *corpus.Corpus, workers int) ([]Result, error) {
+//
+// The second return value counts documents that failed to link
+// (their Result has Entity == hin.NoObject); it is non-zero for
+// degraded batches even when the call as a whole succeeds, and is
+// also recorded in the shine_link_batch_failures_total metric on an
+// instrumented model. The error is non-nil only when every document
+// fails.
+func (m *Model) LinkAllParallel(c *corpus.Corpus, workers int) ([]Result, int, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -48,8 +55,9 @@ func (m *Model) LinkAllParallel(c *corpus.Corpus, workers int) ([]Result, error)
 			failures++
 		}
 	}
+	m.metrics.observeBatchFailures(failures)
 	if failures == n && n > 0 {
-		return results, fmt.Errorf("shine: all %d mentions failed to link", failures)
+		return results, failures, fmt.Errorf("shine: all %d mentions failed to link", failures)
 	}
-	return results, nil
+	return results, failures, nil
 }

@@ -29,9 +29,12 @@ func TestLinkAllParallelMatchesSequential(t *testing.T) {
 		t.Fatalf("LinkAll: %v", err)
 	}
 	for _, workers := range []int{0, 1, 4, 100} {
-		par, err := m.LinkAllParallel(ds.Corpus, workers)
+		par, failed, err := m.LinkAllParallel(ds.Corpus, workers)
 		if err != nil {
 			t.Fatalf("LinkAllParallel(%d): %v", workers, err)
+		}
+		if failed != 0 {
+			t.Fatalf("workers=%d: %d failures on a fully-linkable corpus", workers, failed)
 		}
 		if len(par) != len(seq) {
 			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(seq))
@@ -51,7 +54,33 @@ func TestLinkAllParallelAllFailures(t *testing.T) {
 	c := &corpus.Corpus{}
 	c.Add(corpus.NewDocument("x", "Unknown Person", hin.NoObject, nil))
 	c.Add(corpus.NewDocument("y", "Another Unknown", hin.NoObject, nil))
-	if _, err := m.LinkAllParallel(c, 2); err == nil {
+	_, failed, err := m.LinkAllParallel(c, 2)
+	if err == nil {
 		t.Error("all-unlinkable corpus accepted")
+	}
+	if failed != 2 {
+		t.Errorf("failures = %d, want 2", failed)
+	}
+}
+
+func TestLinkAllParallelPartialFailure(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	c := &corpus.Corpus{}
+	c.Add(f.docA) // linkable
+	c.Add(corpus.NewDocument("bad", "Unknown Person", hin.NoObject, nil))
+	c.Add(f.docB) // linkable
+	results, failed, err := m.LinkAllParallel(c, 2)
+	if err != nil {
+		t.Fatalf("partial failure escalated to an error: %v", err)
+	}
+	if failed != 1 {
+		t.Errorf("failures = %d, want 1", failed)
+	}
+	if results[1].Entity != hin.NoObject {
+		t.Errorf("failed doc result = %v, want NoObject", results[1].Entity)
+	}
+	if results[0].Entity == hin.NoObject || results[2].Entity == hin.NoObject {
+		t.Error("healthy documents did not link in a degraded batch")
 	}
 }
