@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"shine/internal/annotate"
 	"shine/internal/baselines"
@@ -271,6 +273,58 @@ func BenchmarkAblationSGD(b *testing.B) {
 	}
 	b.ReportMetric(cmp.FullAccuracy, "full-acc")
 	b.ReportMetric(cmp.SGDAccuracy, "sgd-acc")
+}
+
+// learnWithWorkers trains a fresh model (cold walk cache — the
+// preparation phase is the parallel hot spot) over the quick corpus
+// with the given worker count and returns the Learn wall time.
+func learnWithWorkers(b *testing.B, e *experiments.Env, workers int) time.Duration {
+	b.Helper()
+	cfg := shine.DefaultConfig()
+	cfg.Workers = workers
+	b.StopTimer() // model construction (PageRank, indexing) is not training
+	m, err := shine.New(e.DS.Data.Graph, e.DS.Data.Schema.Author, e.Paths10, e.DS.Corpus, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StartTimer()
+	start := time.Now()
+	if _, err := m.Learn(e.DS.Corpus); err != nil {
+		b.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// BenchmarkLearnSerial measures the full training pipeline
+// (preparation + EM) with Workers=1 — the deterministic baseline the
+// parallel path must reproduce bit-for-bit.
+func BenchmarkLearnSerial(b *testing.B) {
+	e := benchEnv(b)
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		total += learnWithWorkers(b, e, 1)
+	}
+	b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "learn-ns/op")
+}
+
+// BenchmarkLearnParallel measures the same pipeline at 8 workers and
+// reports the speedup over a serial run measured in the same process.
+// The speedup tracks available cores: ~1.0 on a single-core host
+// (parallelism cannot beat the hardware), approaching min(8, cores)
+// on multi-core machines since preparation, the E-step and the M-step
+// reductions all fan out.
+func BenchmarkLearnParallel(b *testing.B) {
+	e := benchEnv(b)
+	serial := learnWithWorkers(b, e, 1) // untimed baseline for the ratio
+	b.ResetTimer()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		total += learnWithWorkers(b, e, 8)
+	}
+	perOp := total / time.Duration(b.N)
+	b.ReportMetric(float64(perOp.Nanoseconds()), "learn-ns/op")
+	b.ReportMetric(float64(serial)/float64(perOp), "speedup-vs-serial")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }
 
 // ----------------------------------------------------------- micro level

@@ -103,16 +103,18 @@ Commands:
   paths  [-maxlen N] [-enumerate]
          Show the paper's meta-path set (Table 3), or enumerate all
          author-rooted meta-paths up to -maxlen by schema BFS.
-  link   -graph FILE -docs FILE [-model FILE] [-theta F] [-uniform-pop] [-no-learn] [-top N]
+  link   -graph FILE -docs FILE [-model FILE] [-theta F] [-uniform-pop] [-no-learn] [-top N] [-workers N]
          Ingest the documents, learn meta-path weights by EM (or load a
          trained model), link every mention and report accuracy.
-  train  -graph FILE -docs FILE -model FILE [-theta F] [-uniform-pop]
+  train  -graph FILE -docs FILE -model FILE [-theta F] [-uniform-pop] [-workers N]
          Learn meta-path weights by EM and save the trained model.
+         -workers bounds training parallelism (0 = GOMAXPROCS); any
+         worker count learns bit-identical weights.
   annotate -graph FILE -docs FILE [-model FILE] [-in FILE] [-min-posterior F]
          Detect every entity mention in raw text (stdin or -in) and
          link each one, printing spans, entities and confidences.
   serve  -graph FILE -docs FILE [-model FILE] [-addr :8080] [-nil-prior F]
-         [-metrics=true] [-pprof] [-drain 10s]
+         [-metrics=true] [-pprof] [-drain 10s] [-workers N]
          Serve the model over HTTP: /v1/link, /v1/annotate,
          /v1/explain, /v1/entity, /v1/healthz, plus Prometheus
          metrics at /metrics and optional /debug/pprof profiling.
@@ -386,6 +388,7 @@ func cmdLink(args []string) error {
 	uniformPop := fs.Bool("uniform-pop", false, "use the uniform popularity model")
 	noLearn := fs.Bool("no-learn", false, "skip EM learning; use uniform meta-path weights")
 	top := fs.Int("top", 0, "print the top-N candidate posteriors per mention")
+	workers := fs.Int("workers", 0, "training worker goroutines (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	g, err := loadGraph(*graphPath)
@@ -417,6 +420,9 @@ func cmdLink(args []string) error {
 		cfg.Theta = *theta
 		if *uniformPop {
 			cfg.Popularity = shine.PopularityUniform
+		}
+		if *workers > 0 {
+			cfg.Workers = *workers
 		}
 		if m, err = shine.New(g, d.Author, metapath.DBLPPaperPaths(d), c, cfg); err != nil {
 			return err
@@ -473,6 +479,7 @@ func cmdTrain(args []string) error {
 	modelPath := fs.String("model", "model.json", "output path for the trained model")
 	theta := fs.Float64("theta", 0.2, "smoothing parameter θ")
 	uniformPop := fs.Bool("uniform-pop", false, "use the uniform popularity model")
+	workers := fs.Int("workers", 0, "training worker goroutines (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	g, err := loadGraph(*graphPath)
@@ -491,6 +498,9 @@ func cmdTrain(args []string) error {
 	cfg.Theta = *theta
 	if *uniformPop {
 		cfg.Popularity = shine.PopularityUniform
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 	m, err := shine.New(g, d.Author, metapath.DBLPPaperPaths(d), c, cfg)
 	if err != nil {
@@ -600,6 +610,7 @@ func cmdServe(args []string) error {
 	metricsOn := fs.Bool("metrics", true, "expose Prometheus metrics at GET /metrics")
 	pprofOn := fs.Bool("pprof", false, "mount profiling handlers under /debug/pprof/")
 	drain := fs.Duration("drain", 10*time.Second, "connection drain deadline on SIGINT/SIGTERM")
+	workers := fs.Int("workers", 0, "startup-training worker goroutines (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	g, err := loadGraph(*graphPath)
@@ -629,7 +640,11 @@ func cmdServe(args []string) error {
 			return err
 		}
 	} else {
-		if m, err = shine.New(g, d.Author, metapath.DBLPPaperPaths(d), c, shine.DefaultConfig()); err != nil {
+		cfg := shine.DefaultConfig()
+		if *workers > 0 {
+			cfg.Workers = *workers
+		}
+		if m, err = shine.New(g, d.Author, metapath.DBLPPaperPaths(d), c, cfg); err != nil {
 			return err
 		}
 		m.SetMetrics(reg)

@@ -23,14 +23,25 @@ import (
 // A Walker memoises full walk distributions per (entity, path) in a
 // bounded LRU cache, because SHINE's EM loop evaluates the same
 // candidate entities against the same path set many times. Walker is
-// safe for concurrent use.
+// safe for concurrent use. Large caches are striped across
+// independently locked shards so the parallel training pipeline and
+// concurrent link batches do not serialise on one mutex; each shard
+// is an exact LRU over its slice of the key space, so the total
+// capacity bound holds per shard rather than globally.
 type Walker struct {
 	g *hin.Graph
+	// shards is nil when caching is disabled. Small caches use a
+	// single shard, which preserves exact global LRU semantics.
+	shards []*walkShard
+}
 
+// walkShard is one stripe of the walk cache: an exact LRU with its
+// own lock and counters.
+type walkShard struct {
 	mu        sync.Mutex
+	capacity  int
 	cache     map[walkKey]*list.Element
 	order     *list.List // front = most recently used
-	capacity  int
 	hits      uint64
 	misses    uint64
 	evictions uint64
@@ -51,19 +62,61 @@ type cacheEntry struct {
 // distributions a Walker retains.
 const DefaultCacheSize = 65536
 
+const (
+	// cacheShards is the stripe count for sharded caches. Fixed so
+	// shard assignment — and with it the per-shard metrics series —
+	// is stable across hosts.
+	cacheShards = 16
+	// minShardedCapacity is the total capacity below which the cache
+	// stays a single exact LRU: striping a tiny cache would shrink
+	// each shard to a handful of entries and make the eviction
+	// behaviour hash-dependent for no concurrency win.
+	minShardedCapacity = 1024
+)
+
 // NewWalker returns a Walker over g with the given cache capacity; a
-// non-positive capacity disables caching.
+// non-positive capacity disables caching. Capacities of at least
+// minShardedCapacity are divided evenly across cacheShards stripes.
 func NewWalker(g *hin.Graph, cacheSize int) *Walker {
-	w := &Walker{g: g, capacity: cacheSize}
+	w := &Walker{g: g}
 	if cacheSize > 0 {
-		w.cache = make(map[walkKey]*list.Element)
-		w.order = list.New()
+		n := 1
+		if cacheSize >= minShardedCapacity {
+			n = cacheShards
+		}
+		per := (cacheSize + n - 1) / n
+		w.shards = make([]*walkShard, n)
+		for i := range w.shards {
+			w.shards[i] = &walkShard{
+				capacity: per,
+				cache:    make(map[walkKey]*list.Element),
+				order:    list.New(),
+			}
+		}
 	}
 	return w
 }
 
 // Graph returns the graph the walker operates on.
 func (w *Walker) Graph() *hin.Graph { return w.g }
+
+// shardFor maps a key to its stripe by FNV-1a over the key fields.
+func (w *Walker) shardFor(key walkKey) *walkShard {
+	if len(w.shards) == 1 {
+		return w.shards[0]
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	h = (h ^ uint32(key.entity)) * prime32
+	for i := 0; i < len(key.path); i++ {
+		h = (h ^ uint32(key.path[i])) * prime32
+	}
+	h = (h ^ uint32(key.prune)) * prime32
+	return w.shards[h%uint32(len(w.shards))]
+}
 
 // Walk returns the distribution Pe(v|p) of observing each object v
 // after a random walk from entity e constrained to meta-path p. The
@@ -105,7 +158,13 @@ func (w *Walker) WalkPruned(e hin.ObjectID, p Path, maxSupport int) (sparse.Vect
 	cur := sparse.Unit(int32(e))
 	for _, rel := range p.Relations() {
 		next := sparse.NewWithCapacity(cur.Len())
-		for i, mass := range cur {
+		// Expand the frontier in ascending index order, not map order:
+		// float addition is not associative, so a randomised iteration
+		// would make walk results (and everything trained on them)
+		// vary between runs. Sorted hops make every walk — and the EM
+		// weights learned from walks — bit-for-bit reproducible.
+		for _, i := range cur.Indices() {
+			mass := cur[i]
 			v := hin.ObjectID(i)
 			deg := w.g.Degree(rel, v)
 			if deg == 0 {
@@ -158,42 +217,44 @@ func (w *Walker) WalkMixturePruned(e hin.ObjectID, paths []Path, weights []float
 }
 
 func (w *Walker) lookup(key walkKey) (sparse.Vector, bool) {
-	if w.cache == nil {
+	if w.shards == nil {
 		return nil, false
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	el, ok := w.cache[key]
+	s := w.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.cache[key]
 	if !ok {
-		w.misses++
+		s.misses++
 		return nil, false
 	}
-	w.order.MoveToFront(el)
-	w.hits++
+	s.order.MoveToFront(el)
+	s.hits++
 	return el.Value.(*cacheEntry).dist, true
 }
 
 func (w *Walker) store(key walkKey, dist sparse.Vector) {
-	if w.cache == nil {
+	if w.shards == nil {
 		return
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if el, ok := w.cache[key]; ok {
-		w.order.MoveToFront(el)
+	s := w.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.cache[key]; ok {
+		s.order.MoveToFront(el)
 		el.Value.(*cacheEntry).dist = dist
 		return
 	}
-	el := w.order.PushFront(&cacheEntry{key: key, dist: dist})
-	w.cache[key] = el
-	for len(w.cache) > w.capacity {
-		back := w.order.Back()
+	el := s.order.PushFront(&cacheEntry{key: key, dist: dist})
+	s.cache[key] = el
+	for len(s.cache) > s.capacity {
+		back := s.order.Back()
 		if back == nil {
 			break
 		}
-		w.order.Remove(back)
-		delete(w.cache, back.Value.(*cacheEntry).key)
-		w.evictions++
+		s.order.Remove(back)
+		delete(s.cache, back.Value.(*cacheEntry).key)
+		s.evictions++
 	}
 }
 
@@ -205,32 +266,71 @@ type CacheStats struct {
 	Evictions uint64
 }
 
-// CacheStats returns a snapshot of the walker's cache counters.
+// snapshot reads one shard's counters under its lock.
+func (s *walkShard) snapshot() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{Entries: len(s.cache), Hits: s.hits, Misses: s.misses, Evictions: s.evictions}
+}
+
+// CacheStats returns the walker's cache counters aggregated across
+// all shards. Shards are snapshotted one at a time, so the aggregate
+// is approximate under concurrent traffic (exact when quiescent).
 func (w *Walker) CacheStats() CacheStats {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return CacheStats{Entries: len(w.cache), Hits: w.hits, Misses: w.misses, Evictions: w.evictions}
+	var total CacheStats
+	for _, s := range w.shards {
+		st := s.snapshot()
+		total.Entries += st.Entries
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Evictions += st.Evictions
+	}
+	return total
+}
+
+// ShardStats returns a per-shard snapshot of the cache counters, in
+// shard-index order. It returns nil when caching is disabled.
+func (w *Walker) ShardStats() []CacheStats {
+	if w.shards == nil {
+		return nil
+	}
+	out := make([]CacheStats, len(w.shards))
+	for i, s := range w.shards {
+		out[i] = s.snapshot()
+	}
+	return out
 }
 
 // Collect emits the walker's cache counters. The signature matches
 // the obs.Collector interface structurally, so an obs.Registry can
 // scrape a Walker without this package importing obs (which would be
-// an import cycle through shine).
+// an import cycle through shine). Sharded caches additionally emit
+// one labelled series per shard, so a dashboard can spot skewed
+// stripes.
 func (w *Walker) Collect(emit func(name string, value float64)) {
 	st := w.CacheStats()
 	emit("shine_walker_cache_entries", float64(st.Entries))
 	emit("shine_walker_cache_hits_total", float64(st.Hits))
 	emit("shine_walker_cache_misses_total", float64(st.Misses))
 	emit("shine_walker_cache_evictions_total", float64(st.Evictions))
-}
-
-// ClearCache discards all cached walk distributions.
-func (w *Walker) ClearCache() {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.cache == nil {
+	if len(w.shards) <= 1 {
 		return
 	}
-	w.cache = make(map[walkKey]*list.Element)
-	w.order = list.New()
+	for i, ss := range w.ShardStats() {
+		emit(fmt.Sprintf(`shine_walker_cache_shard_entries{shard="%d"}`, i), float64(ss.Entries))
+		emit(fmt.Sprintf(`shine_walker_cache_shard_hits_total{shard="%d"}`, i), float64(ss.Hits))
+		emit(fmt.Sprintf(`shine_walker_cache_shard_misses_total{shard="%d"}`, i), float64(ss.Misses))
+		emit(fmt.Sprintf(`shine_walker_cache_shard_evictions_total{shard="%d"}`, i), float64(ss.Evictions))
+	}
+}
+
+// ClearCache discards all cached walk distributions, keeping the
+// hit/miss/eviction counters.
+func (w *Walker) ClearCache() {
+	for _, s := range w.shards {
+		s.mu.Lock()
+		s.cache = make(map[walkKey]*list.Element)
+		s.order = list.New()
+		s.mu.Unlock()
+	}
 }

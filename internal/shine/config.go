@@ -9,6 +9,7 @@ package shine
 
 import (
 	"fmt"
+	"runtime"
 
 	"shine/internal/pagerank"
 )
@@ -76,6 +77,17 @@ type Config struct {
 	// large-scale variant Section 4 suggests. Zero uses full batches.
 	SGDBatch int
 
+	// Workers is the number of goroutines the training pipeline fans
+	// out to: corpus preparation (the per-mention meta-path walk
+	// precompute), the E-step posterior pass, and the blocked
+	// objective/gradient reductions of the M-step. The reductions
+	// merge per-block partials in a fixed order, so the learned
+	// weights are bit-for-bit identical for every Workers value.
+	// DefaultConfig sets GOMAXPROCS. Workers is an execution knob,
+	// not learned state: it is excluded from saved models, and a
+	// loaded model runs with the host's GOMAXPROCS.
+	Workers int `json:"-"`
+
 	// WalkCacheSize bounds the meta-path walk cache.
 	WalkCacheSize int
 	// WalkPruning, when positive, truncates each intermediate random
@@ -104,6 +116,7 @@ func DefaultConfig() Config {
 		EMTolerance:     1e-4,
 		GDTolerance:     1e-7,
 		SGDBatch:        0,
+		Workers:         runtime.GOMAXPROCS(0),
 		WalkCacheSize:   metapathCacheDefault,
 		ProbFloor:       1e-12,
 	}
@@ -130,6 +143,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("shine: GDTolerance %v must be positive", c.GDTolerance)
 	case c.SGDBatch < 0:
 		return fmt.Errorf("shine: SGDBatch %d negative", c.SGDBatch)
+	case c.Workers < 1:
+		return fmt.Errorf("shine: Workers %d must be positive (DefaultConfig uses GOMAXPROCS)", c.Workers)
 	case c.WalkPruning < 0:
 		return fmt.Errorf("shine: WalkPruning %d negative", c.WalkPruning)
 	case c.ProbFloor <= 0 || c.ProbFloor >= 1e-3:

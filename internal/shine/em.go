@@ -32,6 +32,11 @@ type LearnStats struct {
 	// Converged reports whether the weight vector stabilised before
 	// MaxEMIterations.
 	Converged bool
+	// PrepareTime is the wall-clock duration of the corpus
+	// preparation phase (the per-mention meta-path walk precompute),
+	// which runs once before the EM loop and dominates cold-cache
+	// training cost.
+	PrepareTime time.Duration
 	// EMIterTime and GDIterTime are the average wall-clock durations
 	// of one EM iteration and one inner gradient iteration — the
 	// quantities plotted in the paper's Figure 4(a).
@@ -44,12 +49,22 @@ type LearnStats struct {
 // document collection D. On success the model's weights are updated
 // in place and the learning trace is returned. Gold labels in the
 // corpus are ignored — learning is fully unsupervised.
+//
+// Preparation, the E-step and the M-step reductions fan out across
+// cfg.Workers goroutines; the blocked fixed-order merges (see
+// accumulate.go) make the learned weights bit-for-bit identical for
+// every worker count. Learn may run concurrently with Link calls —
+// readers see the old weight vector until the final install — but
+// must not race with another Learn, SetWeights or Rebind.
 func (m *Model) Learn(c *corpus.Corpus) (*LearnStats, error) {
+	prepStart := time.Now()
 	mds, skipped, err := m.prepareCorpus(c)
 	if err != nil {
 		return nil, err
 	}
-	stats := &LearnStats{SkippedMentions: skipped}
+	stats := &LearnStats{SkippedMentions: skipped, PrepareTime: time.Since(prepStart)}
+	m.metrics.observeEMPrepare(prepStart)
+	workers := m.workers()
 
 	// Algorithm 1 line 1–3: initialise every weight to zero. The
 	// model then scores candidates by popularity and the generic
@@ -68,13 +83,16 @@ func (m *Model) Learn(c *corpus.Corpus) (*LearnStats, error) {
 	for iter := 0; iter < m.cfg.MaxEMIterations; iter++ {
 		iterStart := time.Now()
 		// E-step (Formula 18): E(π(m,d,e)) = P(m,d,e) / Σ_e' P(m,d,e').
-		for i, md := range mds {
+		// Mentions are independent and each writes only its own
+		// posterior row, so the per-item fan-out is deterministic.
+		parallelFor(len(mds), workers, func(i int) {
+			md := mds[i]
 			logs := make([]float64, len(md.cands))
 			for ci := range md.cands {
 				logs[ci] = m.logJoint(md, ci, w)
 			}
 			copy(post[i], softmax(logs))
-		}
+		})
 
 		// M-step: maximise J(w) = Σ f(m,d,e) ln P(d|e) by projected
 		// gradient ascent on the weight simplex (Formulas 22–24 plus
@@ -107,66 +125,71 @@ func (m *Model) Learn(c *corpus.Corpus) (*LearnStats, error) {
 		stats.GDIterTime = time.Since(emStart) / time.Duration(stats.GDIterations)
 	}
 
-	copy(m.weights, w)
+	m.installWeights(w)
 	return stats, nil
 }
 
 // objective evaluates J (Formula 22) over all mentions under the
-// current posteriors.
+// current posteriors, as a blocked fixed-order reduction across
+// cfg.Workers goroutines.
 func (m *Model) objective(mds []*mentionData, post [][]float64, w []float64) float64 {
 	theta := m.cfg.Theta
-	j := 0.0
-	for i, md := range mds {
-		for ci := range md.cands {
-			f := post[i][ci]
-			if f == 0 {
-				continue
-			}
-			prof := &md.cands[ci]
-			for oi := range md.counts {
-				pe := 0.0
-				for pi := range w {
-					pe += w[pi] * prof.pathProb[pi][oi]
+	return reduceSum(len(mds), m.workers(), func(lo, hi int) float64 {
+		j := 0.0
+		for i := lo; i < hi; i++ {
+			md := mds[i]
+			for ci := range md.cands {
+				f := post[i][ci]
+				if f == 0 {
+					continue
 				}
-				pv := theta*pe + (1-theta)*md.generic[oi]
-				j += f * md.counts[oi] * math.Log(math.Max(pv, m.cfg.ProbFloor))
+				prof := &md.cands[ci]
+				for oi := range md.counts {
+					pe := 0.0
+					for pi := range w {
+						pe += w[pi] * prof.pathProb[pi][oi]
+					}
+					pv := theta*pe + (1-theta)*md.generic[oi]
+					j += f * md.counts[oi] * math.Log(math.Max(pv, m.cfg.ProbFloor))
+				}
 			}
 		}
-	}
-	return j
+		return j
+	})
 }
 
 // gradient accumulates ∂J/∂w_p (Formula 24) over the given mention
-// subset into grad.
+// subset into grad, as a blocked fixed-order reduction across
+// cfg.Workers goroutines.
 func (m *Model) gradient(mds []*mentionData, post [][]float64, w []float64, subset []int, grad []float64) {
 	theta := m.cfg.Theta
-	for k := range grad {
-		grad[k] = 0
-	}
-	for _, i := range subset {
-		md := mds[i]
-		for ci := range md.cands {
-			f := post[i][ci]
-			if f == 0 {
-				continue
-			}
-			prof := &md.cands[ci]
-			for oi := range md.counts {
-				pe := 0.0
-				for pi := range w {
-					pe += w[pi] * prof.pathProb[pi][oi]
+	sum := reduceVecSum(len(subset), len(grad), m.workers(), func(lo, hi int, acc []float64) {
+		for _, i := range subset[lo:hi] {
+			md := mds[i]
+			for ci := range md.cands {
+				f := post[i][ci]
+				if f == 0 {
+					continue
 				}
-				pv := theta*pe + (1-theta)*md.generic[oi]
-				if pv < m.cfg.ProbFloor {
-					pv = m.cfg.ProbFloor
-				}
-				scale := f * md.counts[oi] * theta / pv
-				for pi := range w {
-					grad[pi] += scale * prof.pathProb[pi][oi]
+				prof := &md.cands[ci]
+				for oi := range md.counts {
+					pe := 0.0
+					for pi := range w {
+						pe += w[pi] * prof.pathProb[pi][oi]
+					}
+					pv := theta*pe + (1-theta)*md.generic[oi]
+					if pv < m.cfg.ProbFloor {
+						pv = m.cfg.ProbFloor
+					}
+					scale := f * md.counts[oi] * theta / pv
+					for pi := range w {
+						acc[pi] += scale * prof.pathProb[pi][oi]
+					}
 				}
 			}
 		}
-	}
+	})
+	copy(grad, sum)
 }
 
 // maximize runs the inner gradient ascent loop of Algorithm 1 (lines

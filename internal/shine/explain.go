@@ -72,9 +72,10 @@ func (m *Model) ExplainPaths(doc *corpus.Document) ([]PathImportance, error) {
 	if err != nil {
 		return nil, err
 	}
+	weights := m.snapshotWeights()
 	logs := make([]float64, len(cands))
 	for i := range md.cands {
-		logs[i] = m.logJoint(md, i, m.weights)
+		logs[i] = m.logJoint(md, i, weights)
 	}
 	win, run := 0, -1
 	for i := 1; i < len(cands); i++ {
@@ -92,9 +93,9 @@ func (m *Model) ExplainPaths(doc *corpus.Document) ([]PathImportance, error) {
 	if run >= 0 {
 		baseMargin = logs[win] - logs[run]
 	}
-	loo := make([]float64, len(m.weights))
+	loo := make([]float64, len(weights))
 	for pi := range m.paths {
-		copy(loo, m.weights)
+		copy(loo, weights)
 		loo[pi] = 0
 		project(loo)
 		margin := 0.0
@@ -103,7 +104,7 @@ func (m *Model) ExplainPaths(doc *corpus.Document) ([]PathImportance, error) {
 		}
 		out[pi] = PathImportance{
 			Path:       m.paths[pi].String(),
-			Weight:     m.weights[pi],
+			Weight:     weights[pi],
 			MarginDrop: baseMargin - margin,
 		}
 	}
@@ -127,9 +128,10 @@ func (m *Model) Explain(doc *corpus.Document) (Explanation, error) {
 	if err != nil {
 		return Explanation{}, err
 	}
+	weights := m.snapshotWeights()
 	logs := make([]float64, len(cands))
 	for i := range md.cands {
-		logs[i] = m.logJoint(md, i, m.weights)
+		logs[i] = m.logJoint(md, i, weights)
 	}
 	// Identify winner and runner-up (Link's ordering: posterior desc,
 	// then ascending ID — identical to log-joint ordering).
@@ -163,8 +165,8 @@ func (m *Model) Explain(doc *corpus.Document) (Explanation, error) {
 	for oi, oc := range doc.Objects {
 		pv := func(ci int) float64 {
 			pe := 0.0
-			for pi := range m.weights {
-				pe += m.weights[pi] * md.cands[ci].pathProb[pi][oi]
+			for pi := range weights {
+				pe += weights[pi] * md.cands[ci].pathProb[pi][oi]
 			}
 			return math.Max(theta*pe+(1-theta)*md.generic[oi], m.cfg.ProbFloor)
 		}

@@ -33,6 +33,11 @@ const (
 	// MetricEMIterationSeconds is the per-EM-iteration duration
 	// histogram.
 	MetricEMIterationSeconds = "shine_em_iteration_seconds"
+	// MetricEMPrepareSeconds is the per-Learn corpus preparation
+	// duration histogram — the meta-path walk precompute that
+	// dominates cold-cache training and fans out across
+	// Config.Workers goroutines.
+	MetricEMPrepareSeconds = "shine_em_prepare_seconds"
 	// MetricEMLogLikelihood is the M-step objective J (the expected
 	// complete-data log-likelihood term of Formula 22) after the most
 	// recent EM iteration.
@@ -55,6 +60,7 @@ type modelMetrics struct {
 	batchFailures  *obs.Counter
 	emIterations   *obs.Counter
 	emIterSeconds  *obs.Histogram
+	emPrepSeconds  *obs.Histogram
 	emLogLik       *obs.Gauge
 }
 
@@ -83,6 +89,7 @@ func (m *Model) SetMetrics(reg *obs.Registry) {
 		batchFailures:  reg.Counter(MetricBatchFailures),
 		emIterations:   reg.Counter(MetricEMIterations),
 		emIterSeconds:  reg.Histogram(MetricEMIterationSeconds, nil),
+		emPrepSeconds:  reg.Histogram(MetricEMPrepareSeconds, nil),
 		emLogLik:       reg.Gauge(MetricEMLogLikelihood),
 	}
 }
@@ -114,6 +121,15 @@ func (mm *modelMetrics) observeEMIteration(start time.Time, objective float64) {
 	mm.emIterations.Inc()
 	mm.emIterSeconds.ObserveSince(start)
 	mm.emLogLik.Set(objective)
+}
+
+// observeEMPrepare records one Learn call's corpus preparation
+// duration. Safe on a nil receiver.
+func (mm *modelMetrics) observeEMPrepare(start time.Time) {
+	if mm == nil {
+		return
+	}
+	mm.emPrepSeconds.ObserveSince(start)
 }
 
 // observeBatchFailures records per-document failures from a batch

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"shine/internal/corpus"
@@ -23,14 +24,21 @@ var ErrNoCandidates = errors.New("shine: mention has no candidate entities")
 // Model is a SHINE entity linking model over a fixed network, entity
 // type and meta-path set. Construct with New, optionally learn
 // meta-path weights with Learn, then Link documents. A Model is safe
-// for concurrent Link calls; Learn and SetWeights must not race with
-// readers.
+// for concurrent Link calls, and Learn or SetWeights may run while
+// readers are active: each read snapshots the weight vector, so a
+// concurrent reader sees either the old or the new weights, never a
+// partial write. Rebind and SetGeneric still must not race with any
+// other use.
 type Model struct {
 	graph      *hin.Graph
 	entityType hin.TypeID
 	paths      []metapath.Path
-	weights    []float64
 	cfg        Config
+
+	// wmu guards weights: Link-path readers snapshot under RLock
+	// while Learn/SetWeights install a full vector under Lock.
+	wmu     sync.RWMutex
+	weights []float64
 
 	popularity map[hin.ObjectID]float64
 	index      *namematch.Index
@@ -118,7 +126,23 @@ func (m *Model) Paths() []metapath.Path { return m.paths }
 
 // Weights returns a copy of the current meta-path weight vector.
 func (m *Model) Weights() []float64 {
+	return m.snapshotWeights()
+}
+
+// snapshotWeights copies the weight vector under the read lock; the
+// Link hot path scores a whole mention against one consistent
+// snapshot even while Learn installs a new vector.
+func (m *Model) snapshotWeights() []float64 {
+	m.wmu.RLock()
+	defer m.wmu.RUnlock()
 	return append([]float64(nil), m.weights...)
+}
+
+// installWeights replaces the weight vector under the write lock.
+func (m *Model) installWeights(w []float64) {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	copy(m.weights, w)
 }
 
 // SetWeights imposes a weight vector. Weights must be non-negative
@@ -137,9 +161,11 @@ func (m *Model) SetWeights(w []float64) error {
 	if sum == 0 {
 		return errors.New("shine: all-zero weight vector")
 	}
+	norm := make([]float64, len(w))
 	for i, x := range w {
-		m.weights[i] = x / sum
+		norm[i] = x / sum
 	}
+	m.installWeights(norm)
 	return nil
 }
 
@@ -213,7 +239,7 @@ func (m *Model) Candidates(mention string) []hin.ObjectID {
 // P(v|e) = θ·Pe(v) + (1−θ)·Pg(v) (Formula 9) for a single object —
 // the quantity tabulated per candidate in the paper's Figure 3.
 func (m *Model) EntityObjectProb(e, v hin.ObjectID) (float64, error) {
-	pe, err := m.walker.WalkMixturePruned(e, m.paths, m.weights, m.cfg.WalkPruning)
+	pe, err := m.walker.WalkMixturePruned(e, m.paths, m.snapshotWeights(), m.cfg.WalkPruning)
 	if err != nil {
 		return 0, err
 	}
@@ -223,7 +249,7 @@ func (m *Model) EntityObjectProb(e, v hin.ObjectID) (float64, error) {
 // EntitySpecificProb returns the unsmoothed Pe(v) = Σ_p w_p Pe(v|p)
 // (Formula 12).
 func (m *Model) EntitySpecificProb(e, v hin.ObjectID) (float64, error) {
-	pe, err := m.walker.WalkMixturePruned(e, m.paths, m.weights, m.cfg.WalkPruning)
+	pe, err := m.walker.WalkMixturePruned(e, m.paths, m.snapshotWeights(), m.cfg.WalkPruning)
 	if err != nil {
 		return 0, err
 	}
@@ -270,9 +296,10 @@ func (m *Model) link(doc *corpus.Document) (Result, error) {
 	if err != nil {
 		return Result{Entity: hin.NoObject}, err
 	}
+	w := m.snapshotWeights()
 	logs := make([]float64, len(cands))
 	for i := range md.cands {
-		logs[i] = m.logJoint(md, i, m.weights)
+		logs[i] = m.logJoint(md, i, w)
 	}
 	post := softmax(logs)
 

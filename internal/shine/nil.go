@@ -85,12 +85,13 @@ func (m *Model) linkNIL(doc *corpus.Document, nilPrior float64) (Result, error) 
 	if candMass < m.cfg.ProbFloor {
 		candMass = m.cfg.ProbFloor
 	}
+	w := m.snapshotWeights()
 	logs := make([]float64, len(cands)+1)
 	// (1−π) / Σ P(e') rescales the candidate priors so they compete
 	// with π on equal footing.
 	scale := math.Log(1-nilPrior) - math.Log(candMass)
 	for i := range md.cands {
-		logs[i] = scale + m.logJoint(md, i, m.weights)
+		logs[i] = scale + m.logJoint(md, i, w)
 	}
 	logs[len(cands)] = m.nilLogJoint(doc, nilPrior)
 	post := softmax(logs)

@@ -2,7 +2,6 @@ package shine
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"shine/internal/corpus"
@@ -22,13 +21,14 @@ import (
 // instrumented model. The error is non-nil only when every document
 // fails.
 func (m *Model) LinkAllParallel(c *corpus.Corpus, workers int) ([]Result, int, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	n := c.Len()
-	if workers > n {
-		workers = n
+	if n == 0 {
+		return nil, 0, nil
 	}
+	// Clamp rather than trust the caller: a zero/negative request
+	// takes GOMAXPROCS and the pool never exceeds the document count,
+	// so no worker configuration can stall the job channel.
+	workers = clampWorkers(workers, n)
 	results := make([]Result, n)
 	errs := make([]error, n)
 

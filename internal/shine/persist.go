@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 
 	"shine/internal/corpus"
 	"shine/internal/hin"
@@ -58,6 +59,10 @@ func Load(r io.Reader, g *hin.Graph, docs *corpus.Corpus) (*Model, error) {
 	if st.Version != modelStateVersion {
 		return nil, fmt.Errorf("shine: unsupported model state version %d", st.Version)
 	}
+	// Workers is an execution knob excluded from the artifact
+	// (json:"-"), so a decoded Config always carries the zero value;
+	// resolve it to this host's parallelism before validation.
+	st.Config.Workers = runtime.GOMAXPROCS(0)
 	entityType, ok := g.Schema().TypeByName(st.EntityType)
 	if !ok {
 		return nil, fmt.Errorf("shine: graph schema has no type %q", st.EntityType)

@@ -68,8 +68,19 @@ func (m *Model) prepareMention(doc *corpus.Document, cands []hin.ObjectID) (*men
 // least one candidate. Documents with no candidates are skipped (and
 // counted); the paper's task setting guarantees none, but synthetic
 // or user data may violate it.
+//
+// Preparation is the cold-cache cost of training — one constrained
+// random walk per (candidate, path) pair — so the per-mention work
+// fans out across cfg.Workers goroutines. Each mention writes only
+// its own pre-assigned slot, so the returned slice is in document
+// order regardless of scheduling; on failure the first error in
+// document order is reported, matching the serial behaviour.
 func (m *Model) prepareCorpus(c *corpus.Corpus) ([]*mentionData, int, error) {
-	var out []*mentionData
+	type prepJob struct {
+		doc   *corpus.Document
+		cands []hin.ObjectID
+	}
+	var jobs []prepJob
 	skipped := 0
 	for _, doc := range c.Docs {
 		cands := m.index.Candidates(doc.Mention)
@@ -77,14 +88,21 @@ func (m *Model) prepareCorpus(c *corpus.Corpus) ([]*mentionData, int, error) {
 			skipped++
 			continue
 		}
-		md, err := m.prepareMention(doc, cands)
+		jobs = append(jobs, prepJob{doc, cands})
+	}
+	if len(jobs) == 0 {
+		return nil, skipped, fmt.Errorf("shine: no linkable mentions in corpus of %d documents", c.Len())
+	}
+
+	out := make([]*mentionData, len(jobs))
+	errs := make([]error, len(jobs))
+	parallelFor(len(jobs), m.workers(), func(i int) {
+		out[i], errs[i] = m.prepareMention(jobs[i].doc, jobs[i].cands)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, skipped, err
 		}
-		out = append(out, md)
-	}
-	if len(out) == 0 {
-		return nil, skipped, fmt.Errorf("shine: no linkable mentions in corpus of %d documents", c.Len())
 	}
 	return out, skipped, nil
 }
