@@ -550,6 +550,97 @@ func BenchmarkPageRankScale(b *testing.B) {
 	}
 }
 
+// --------------------------------------------------------- serving path
+
+// linkModel builds a model over the quick dataset with a warm frozen
+// mixture index, the steady-state serving configuration.
+func linkModel(b *testing.B, e *experiments.Env) *shine.Model {
+	b.Helper()
+	m, err := shine.New(e.DS.Data.Graph, e.DS.Data.Schema.Author, e.Paths10,
+		e.DS.Corpus, shine.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.PrecomputeMixtures(); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkLinkSerial measures linking the whole quick corpus one
+// document at a time on a warm model — the frozen-CSR serving path.
+// docs/sec is the headline throughput number recorded in
+// BENCH_link.json.
+func BenchmarkLinkSerial(b *testing.B) {
+	e := benchEnv(b)
+	m := linkModel(b, e)
+	docs := e.DS.Corpus
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.LinkAll(docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N)*float64(docs.Len())/elapsed.Seconds(), "docs/sec")
+}
+
+// BenchmarkLinkParallel measures the same batch fanned out over 8
+// workers. On a single-core host this matches BenchmarkLinkSerial
+// (parallelism cannot beat the hardware); on multi-core hosts the
+// docs/sec metric scales with available cores because the frozen index
+// makes linking read-only and contention-free.
+func BenchmarkLinkParallel(b *testing.B) {
+	e := benchEnv(b)
+	m := linkModel(b, e)
+	docs := e.DS.Corpus
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.LinkAllParallel(docs, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N)*float64(docs.Len())/elapsed.Seconds(), "docs/sec")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkWalkKernel contrasts the two walk kernels on an uncached
+// length-4 walk: "map" is the original map-backed frontier
+// (ReferenceWalk, kept as the testing oracle), "csr" the pooled dense
+// scatter-gather kernel serving production traffic. Same bits out —
+// the equivalence tests prove it — different ns/op and allocs/op.
+func BenchmarkWalkKernel(b *testing.B) {
+	e := benchEnv(b)
+	d := e.DS.Data.Schema
+	g := e.DS.Data.Graph
+	p := metapath.MustParse(d.Schema, "A-P-A-P-V")
+	entity := e.DS.Data.Groups[0].Members[0]
+
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := metapath.ReferenceWalk(g, entity, p, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("csr", func(b *testing.B) {
+		w := metapath.NewWalker(g, 0) // cache off: measure the kernel
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Walk(entity, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkWalkScale measures a length-4 constrained walk as the
 // author's neighbourhood grows with the network.
 func BenchmarkWalkScale(b *testing.B) {

@@ -24,6 +24,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -389,6 +391,7 @@ func cmdLink(args []string) error {
 	noLearn := fs.Bool("no-learn", false, "skip EM learning; use uniform meta-path weights")
 	top := fs.Int("top", 0, "print the top-N candidate posteriors per mention")
 	workers := fs.Int("workers", 0, "training worker goroutines (0 = GOMAXPROCS)")
+	precompute := fs.Bool("precompute", false, "eagerly build the frozen entity-mixture index before linking")
 	fs.Parse(args)
 
 	g, err := loadGraph(*graphPath)
@@ -440,6 +443,15 @@ func cmdLink(args []string) error {
 		}
 	}
 
+	if *precompute {
+		start := time.Now()
+		if err := m.PrecomputeMixtures(); err != nil {
+			return fmt.Errorf("precomputing mixtures: %w", err)
+		}
+		fmt.Printf("precomputed %d entity mixtures in %v\n",
+			m.MixtureStats().Entries, time.Since(start).Round(time.Millisecond))
+	}
+
 	correct, labelled := 0, 0
 	for _, doc := range c.Docs {
 		r, err := m.Link(doc)
@@ -480,6 +492,7 @@ func cmdTrain(args []string) error {
 	theta := fs.Float64("theta", 0.2, "smoothing parameter θ")
 	uniformPop := fs.Bool("uniform-pop", false, "use the uniform popularity model")
 	workers := fs.Int("workers", 0, "training worker goroutines (0 = GOMAXPROCS)")
+	precompute := fs.Bool("precompute", false, "eagerly rebuild the frozen entity-mixture index after each weight install")
 	fs.Parse(args)
 
 	g, err := loadGraph(*graphPath)
@@ -502,6 +515,7 @@ func cmdTrain(args []string) error {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	cfg.PrecomputeMixtures = *precompute
 	m, err := shine.New(g, d.Author, metapath.DBLPPaperPaths(d), c, cfg)
 	if err != nil {
 		return err
@@ -611,6 +625,7 @@ func cmdServe(args []string) error {
 	pprofOn := fs.Bool("pprof", false, "mount profiling handlers under /debug/pprof/")
 	drain := fs.Duration("drain", 10*time.Second, "connection drain deadline on SIGINT/SIGTERM")
 	workers := fs.Int("workers", 0, "startup-training worker goroutines (0 = GOMAXPROCS)")
+	precompute := fs.Bool("precompute", false, "build the frozen entity-mixture index before accepting traffic")
 	fs.Parse(args)
 
 	g, err := loadGraph(*graphPath)
@@ -657,6 +672,7 @@ func cmdServe(args []string) error {
 		Metrics:           reg,
 		NoMetricsEndpoint: !*metricsOn,
 		Pprof:             *pprofOn,
+		Precompute:        *precompute,
 	})
 	if err != nil {
 		return err
@@ -702,7 +718,35 @@ func cmdBench(args []string) error {
 	exp := fs.String("exp", "all", "experiment: table2..5, fig3..6, lambda, pruning, sgd, calibration, ambiguity, nil, noise, significance, uwalk, imdb, all")
 	quick := fs.Bool("quick", false, "use the reduced quick dataset")
 	csvDir := fs.String("csv", "", "also write each experiment's data as CSV into this directory")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	fs.Parse(args)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shine: writing heap profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "shine: writing heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	writeCSV := func(name string, header []string, rows [][]string) error {
 		if *csvDir == "" {

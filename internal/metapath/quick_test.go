@@ -51,13 +51,14 @@ func TestQuickWalksAreSubProbability(t *testing.T) {
 					return false
 				}
 				sum := 0.0
-				for _, x := range dist {
+				ok := true
+				dist.ForEach(func(_ int32, x float64) {
 					if x < 0 {
-						return false
+						ok = false
 					}
 					sum += x
-				}
-				if sum > 1+1e-9 {
+				})
+				if !ok || sum > 1+1e-9 {
 					return false
 				}
 			}
@@ -83,10 +84,14 @@ func TestQuickWalkEndTypesRespectPath(t *testing.T) {
 				if err != nil {
 					return false
 				}
-				for i := range dist {
+				ok := true
+				dist.ForEach(func(i int32, _ float64) {
 					if g.TypeOf(hin.ObjectID(i)) != end {
-						return false
+						ok = false
 					}
+				})
+				if !ok {
+					return false
 				}
 			}
 		}
@@ -118,10 +123,14 @@ func TestQuickPrunedDominatedByExact(t *testing.T) {
 			if pruned.Len() > k {
 				return false
 			}
-			for i, x := range pruned {
+			ok := true
+			pruned.ForEach(func(i int32, x float64) {
 				if x > exact.Get(i)+1e-12 {
-					return false
+					ok = false
 				}
+			})
+			if !ok {
+				return false
 			}
 		}
 		return true

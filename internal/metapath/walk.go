@@ -28,8 +28,20 @@ import (
 // concurrent link batches do not serialise on one mutex; each shard
 // is an exact LRU over its slice of the key space, so the total
 // capacity bound holds per shard rather than globally.
+//
+// Hop expansion runs on a pooled dense scatter-gather accumulator
+// (sparse.Accum) rather than a map-backed frontier: scattering mass
+// into a dense array costs one array write per link instead of a hash
+// probe, and sorting the touched-index list afterwards restores the
+// ascending-order iteration the determinism guarantee needs. Results
+// are frozen into immutable sparse.Dist values (parallel sorted
+// arrays), which are smaller and GC-friendlier cache entries than
+// maps and support O(log n) lookups and O(n+m) merges downstream.
 type Walker struct {
 	g *hin.Graph
+	// accums pools dense accumulators sized to the graph's object
+	// count, one checked out per walk in flight.
+	accums *sparse.AccumPool
 	// shards is nil when caching is disabled. Small caches use a
 	// single shard, which preserves exact global LRU semantics.
 	shards []*walkShard
@@ -55,7 +67,7 @@ type walkKey struct {
 
 type cacheEntry struct {
 	key  walkKey
-	dist sparse.Vector
+	dist sparse.Dist
 }
 
 // DefaultCacheSize is the default number of (entity, path)
@@ -78,7 +90,7 @@ const (
 // non-positive capacity disables caching. Capacities of at least
 // minShardedCapacity are divided evenly across cacheShards stripes.
 func NewWalker(g *hin.Graph, cacheSize int) *Walker {
-	w := &Walker{g: g}
+	w := &Walker{g: g, accums: sparse.NewAccumPool(g.NumObjects())}
 	if cacheSize > 0 {
 		n := 1
 		if cacheSize >= minShardedCapacity {
@@ -120,10 +132,10 @@ func (w *Walker) shardFor(key walkKey) *walkShard {
 
 // Walk returns the distribution Pe(v|p) of observing each object v
 // after a random walk from entity e constrained to meta-path p. The
-// returned vector is owned by the cache and must not be modified;
-// clone it if mutation is needed. Walking the empty path returns the
-// unit distribution at e.
-func (w *Walker) Walk(e hin.ObjectID, p Path) (sparse.Vector, error) {
+// result is an immutable frozen Dist, shared with the cache and every
+// other caller; Thaw it if a mutable copy is needed. Walking the
+// empty path returns the unit distribution at e.
+func (w *Walker) Walk(e hin.ObjectID, p Path) (sparse.Dist, error) {
 	return w.WalkPruned(e, p, 0)
 }
 
@@ -135,36 +147,60 @@ func (w *Walker) Walk(e hin.ObjectID, p Path) (sparse.Vector, error) {
 // uses when hub objects (a venue with a million papers) would blow up
 // intermediate frontiers. Pruned and exact walks are cached under
 // distinct keys.
-func (w *Walker) WalkPruned(e hin.ObjectID, p Path, maxSupport int) (sparse.Vector, error) {
-	if e < 0 || int(e) >= w.g.NumObjects() {
-		return nil, fmt.Errorf("metapath: walk from invalid object %d", e)
+func (w *Walker) WalkPruned(e hin.ObjectID, p Path, maxSupport int) (sparse.Dist, error) {
+	if err := w.checkWalk(e, p, maxSupport); err != nil {
+		return sparse.Dist{}, err
 	}
-	if maxSupport < 0 {
-		return nil, fmt.Errorf("metapath: negative pruning bound %d", maxSupport)
-	}
-	if !p.IsEmpty() {
-		if start := p.StartType(w.g.Schema()); w.g.TypeOf(e) != start {
-			return nil, fmt.Errorf("metapath: path %s starts at type %s but object %d has type %s",
-				p, w.g.Schema().Type(start).Abbrev, e,
-				w.g.Schema().Type(w.g.TypeOf(e)).Abbrev)
-		}
-	}
-
 	key := walkKey{e, p.Key(), maxSupport}
 	if d, ok := w.lookup(key); ok {
 		return d, nil
 	}
+	cur := w.computeWalk(e, p, maxSupport)
+	w.store(key, cur)
+	return cur, nil
+}
 
-	cur := sparse.Unit(int32(e))
-	for _, rel := range p.Relations() {
-		next := sparse.NewWithCapacity(cur.Len())
-		// Expand the frontier in ascending index order, not map order:
-		// float addition is not associative, so a randomised iteration
-		// would make walk results (and everything trained on them)
-		// vary between runs. Sorted hops make every walk — and the EM
-		// weights learned from walks — bit-for-bit reproducible.
-		for _, i := range cur.Indices() {
-			mass := cur[i]
+// checkWalk validates a walk request.
+func (w *Walker) checkWalk(e hin.ObjectID, p Path, maxSupport int) error {
+	if e < 0 || int(e) >= w.g.NumObjects() {
+		return fmt.Errorf("metapath: walk from invalid object %d", e)
+	}
+	if maxSupport < 0 {
+		return fmt.Errorf("metapath: negative pruning bound %d", maxSupport)
+	}
+	if !p.IsEmpty() {
+		if start := p.StartType(w.g.Schema()); w.g.TypeOf(e) != start {
+			return fmt.Errorf("metapath: path %s starts at type %s but object %d has type %s",
+				p, w.g.Schema().Type(start).Abbrev, e,
+				w.g.Schema().Type(w.g.TypeOf(e)).Abbrev)
+		}
+	}
+	return nil
+}
+
+// computeWalk runs the scatter-gather hop kernel. Each hop expands
+// the current frontier — already in ascending index order, because
+// frozen Dists store indices sorted — into a pooled dense
+// accumulator, then freezes the touched entries back into a Dist.
+//
+// Determinism: float addition is not associative, so the result
+// depends on the order mass is scattered. The kernel always visits
+// sources in ascending index order and each source's neighbours in
+// adjacency-list order — exactly the sequence the original map-backed
+// kernel used after sorting its frontier — so walks are bit-for-bit
+// reproducible across runs, worker counts, and both kernel
+// implementations (ReferenceWalk cross-checks this in tests).
+func (w *Walker) computeWalk(e hin.ObjectID, p Path, maxSupport int) sparse.Dist {
+	cur := sparse.UnitDist(int32(e))
+	rels := p.Relations()
+	if len(rels) == 0 {
+		return cur
+	}
+	acc := w.accums.Get()
+	defer w.accums.Put(acc)
+	for _, rel := range rels {
+		for k := 0; k < cur.Len(); k++ {
+			i, mass := cur.At(k)
 			v := hin.ObjectID(i)
 			deg := w.g.Degree(rel, v)
 			if deg == 0 {
@@ -172,6 +208,42 @@ func (w *Walker) WalkPruned(e hin.ObjectID, p Path, maxSupport int) (sparse.Vect
 			}
 			share := mass / float64(deg)
 			for _, dst := range w.g.Neighbors(rel, v) {
+				acc.Add(int32(dst), share)
+			}
+		}
+		if maxSupport > 0 && acc.Len() > maxSupport {
+			cur = acc.TopDist(maxSupport)
+		} else {
+			cur = acc.Dist()
+		}
+		acc.Reset()
+	}
+	return cur
+}
+
+// ReferenceWalk computes Pe(v|p) with the original map-backed kernel,
+// without caching or pooling. It is retained as the oracle the CSR
+// kernel is cross-checked against (and benchmarked against in
+// BenchmarkWalkKernel); production code paths should use Walker.
+func ReferenceWalk(g *hin.Graph, e hin.ObjectID, p Path, maxSupport int) (sparse.Vector, error) {
+	w := Walker{g: g}
+	if err := w.checkWalk(e, p, maxSupport); err != nil {
+		return nil, err
+	}
+	cur := sparse.Unit(int32(e))
+	for _, rel := range p.Relations() {
+		next := sparse.NewWithCapacity(cur.Len())
+		// Expand the frontier in ascending index order, not map order,
+		// so the reference result is bit-for-bit reproducible.
+		for _, i := range cur.Indices() {
+			mass := cur[i]
+			v := hin.ObjectID(i)
+			deg := g.Degree(rel, v)
+			if deg == 0 {
+				continue
+			}
+			share := mass / float64(deg)
+			for _, dst := range g.Neighbors(rel, v) {
 				next.Add(int32(dst), share)
 			}
 		}
@@ -184,7 +256,6 @@ func (w *Walker) WalkPruned(e hin.ObjectID, p Path, maxSupport int) (sparse.Vect
 		}
 		cur = next
 	}
-	w.store(key, cur)
 	return cur, nil
 }
 
@@ -211,14 +282,39 @@ func (w *Walker) WalkMixturePruned(e hin.ObjectID, paths []Path, weights []float
 		if err != nil {
 			return nil, err
 		}
-		out.AccumScaled(d, weights[k])
+		d.ScaledAddTo(out, weights[k])
 	}
 	return out, nil
 }
 
-func (w *Walker) lookup(key walkKey) (sparse.Vector, bool) {
+// WalkMixtureDist is WalkMixturePruned frozen: it accumulates the
+// weighted path distributions on a pooled dense accumulator and
+// returns an immutable Dist the caller may share freely. Per output
+// index, contributions are added in path order — the same sequence
+// as the map-backed mixture and as Model.logJoint's per-object path
+// loop — so all three agree bit-for-bit.
+func (w *Walker) WalkMixtureDist(e hin.ObjectID, paths []Path, weights []float64, maxSupport int) (sparse.Dist, error) {
+	if len(paths) != len(weights) {
+		return sparse.Dist{}, fmt.Errorf("metapath: %d paths with %d weights", len(paths), len(weights))
+	}
+	acc := w.accums.Get()
+	defer w.accums.Put(acc)
+	for k, p := range paths {
+		if weights[k] == 0 {
+			continue
+		}
+		d, err := w.WalkPruned(e, p, maxSupport)
+		if err != nil {
+			return sparse.Dist{}, err
+		}
+		acc.AddScaled(d, weights[k])
+	}
+	return acc.Dist(), nil
+}
+
+func (w *Walker) lookup(key walkKey) (sparse.Dist, bool) {
 	if w.shards == nil {
-		return nil, false
+		return sparse.Dist{}, false
 	}
 	s := w.shardFor(key)
 	s.mu.Lock()
@@ -226,14 +322,14 @@ func (w *Walker) lookup(key walkKey) (sparse.Vector, bool) {
 	el, ok := s.cache[key]
 	if !ok {
 		s.misses++
-		return nil, false
+		return sparse.Dist{}, false
 	}
 	s.order.MoveToFront(el)
 	s.hits++
 	return el.Value.(*cacheEntry).dist, true
 }
 
-func (w *Walker) store(key walkKey, dist sparse.Vector) {
+func (w *Walker) store(key walkKey, dist sparse.Dist) {
 	if w.shards == nil {
 		return
 	}

@@ -173,7 +173,7 @@ func TestWalkMixture(t *testing.T) {
 	}
 	apv, _ := w.Walk(ids["wei"], paths[0])
 	apa, _ := w.Walk(ids["wei"], paths[1])
-	want := sparse.Mix([]sparse.Vector{apv, apa}, []float64{0.5, 0.5})
+	want := sparse.Mix([]sparse.Vector{apv.Thaw(), apa.Thaw()}, []float64{0.5, 0.5})
 	if !mix.Equal(want, 1e-12) {
 		t.Errorf("mixture = %v, want %v", mix, want)
 	}
@@ -182,7 +182,7 @@ func TestWalkMixture(t *testing.T) {
 	if err != nil {
 		t.Fatalf("WalkMixture: %v", err)
 	}
-	if !onlyAPV.Equal(apv, 1e-12) {
+	if !onlyAPV.Equal(apv.Thaw(), 1e-12) {
 		t.Error("zero-weight path contributed mass")
 	}
 	if _, err := w.WalkMixture(ids["wei"], paths, []float64{1}); err == nil {
@@ -298,11 +298,11 @@ func TestWalkPrunedSubsetOfExact(t *testing.T) {
 	if pruned.Len() > 2 {
 		t.Fatalf("pruned support %d > 2", pruned.Len())
 	}
-	for i, x := range pruned {
+	pruned.ForEach(func(i int32, x float64) {
 		if x > exact.Get(i)+1e-12 {
 			t.Errorf("pruned[%d] = %v exceeds exact %v", i, x, exact.Get(i))
 		}
-	}
+	})
 	if pruned.Sum() > exact.Sum()+1e-12 {
 		t.Error("pruned mass exceeds exact mass")
 	}

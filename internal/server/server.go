@@ -85,6 +85,11 @@ type Options struct {
 	// /debug/pprof/. Off by default: profiles expose internals, so a
 	// deployment opts in explicitly.
 	Pprof bool
+	// Precompute eagerly builds the model's frozen entity-mixture
+	// index before the server accepts traffic, so no request ever pays
+	// meta-path walk latency. Adds startup time proportional to the
+	// entity count; off by default.
+	Precompute bool
 }
 
 // New builds a server over a (typically trained) model.
@@ -134,6 +139,11 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 	// caller already did); no requests are flowing yet, so this cannot
 	// race with Link.
 	m.SetMetrics(reg)
+	if opts.Precompute {
+		if err := m.PrecomputeMixtures(); err != nil {
+			return nil, fmt.Errorf("server: precomputing mixtures: %w", err)
+		}
+	}
 	s.route(http.MethodPost, "/v1/link", s.handleLink)
 	s.route(http.MethodPost, "/v1/annotate", s.handleAnnotate)
 	s.route(http.MethodPost, "/v1/explain", s.handleExplain)

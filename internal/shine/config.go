@@ -88,6 +88,15 @@ type Config struct {
 	// loaded model runs with the host's GOMAXPROCS.
 	Workers int `json:"-"`
 
+	// PrecomputeMixtures, when true, eagerly rebuilds the frozen
+	// entity-mixture serving index after every weight install
+	// (Learn/SetWeights) instead of letting Link fill it lazily — the
+	// first request after training then pays no meta-path walk latency.
+	// Like Workers it is an execution knob, excluded from saved models;
+	// the -precompute CLI flag sets it (and triggers one build at
+	// startup for loaded models).
+	PrecomputeMixtures bool `json:"-"`
+
 	// WalkCacheSize bounds the meta-path walk cache.
 	WalkCacheSize int
 	// WalkPruning, when positive, truncates each intermediate random

@@ -42,6 +42,19 @@ const (
 	// complete-data log-likelihood term of Formula 22) after the most
 	// recent EM iteration.
 	MetricEMLogLikelihood = "shine_em_log_likelihood"
+	// MetricMixtureEntries is the number of candidate entities with a
+	// frozen mixture cached at the current weight version.
+	MetricMixtureEntries = "shine_mixture_entries"
+	// MetricMixtureHits / MetricMixtureMisses count mixture-index
+	// lookups on the serving path.
+	MetricMixtureHits   = "shine_mixture_hits_total"
+	MetricMixtureMisses = "shine_mixture_misses_total"
+	// MetricMixtureBuilds counts mixtures computed, lazily or via
+	// PrecomputeMixtures.
+	MetricMixtureBuilds = "shine_mixture_builds_total"
+	// MetricMixtureInvalidations counts full index flushes (weight
+	// installs, rebinds).
+	MetricMixtureInvalidations = "shine_mixture_invalidations_total"
 )
 
 // candidateBuckets bound the candidate-set-size histogram; ambiguity
@@ -80,6 +93,7 @@ func (m *Model) SetMetrics(reg *obs.Registry) {
 		return
 	}
 	reg.Register(m.walker)
+	reg.Register(&m.mixtures)
 	m.metrics = &modelMetrics{
 		linkSeconds:    reg.Histogram(MetricLinkSeconds, nil),
 		linkCandidates: reg.Histogram(MetricLinkCandidates, candidateBuckets),

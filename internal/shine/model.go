@@ -35,10 +35,20 @@ type Model struct {
 	paths      []metapath.Path
 	cfg        Config
 
-	// wmu guards weights: Link-path readers snapshot under RLock
-	// while Learn/SetWeights install a full vector under Lock.
+	// wmu guards weights and wver: Link-path readers snapshot under
+	// RLock while Learn/SetWeights install a full vector under Lock.
 	wmu     sync.RWMutex
 	weights []float64
+	// wver counts weight installs. Frozen mixture-index entries are
+	// tagged with the version they were built at, so a concurrent
+	// install can never leave stale mixtures serving new weights.
+	wver uint64
+
+	// mixtures is the frozen serving index: per candidate entity, the
+	// full meta-path mixture Σ_p w_p·Pe(v|p) as an immutable CSR
+	// distribution. Built lazily (or via PrecomputeMixtures) and
+	// invalidated by installWeights and Rebind.
+	mixtures mixtureIndex
 
 	popularity map[hin.ObjectID]float64
 	index      *namematch.Index
@@ -138,11 +148,22 @@ func (m *Model) snapshotWeights() []float64 {
 	return append([]float64(nil), m.weights...)
 }
 
-// installWeights replaces the weight vector under the write lock.
+// installWeights replaces the weight vector under the write lock and
+// invalidates the frozen mixture index — its entries embed the old
+// weights.
 func (m *Model) installWeights(w []float64) {
 	m.wmu.Lock()
-	defer m.wmu.Unlock()
 	copy(m.weights, w)
+	m.wver++
+	ver := m.wver
+	m.wmu.Unlock()
+	m.mixtures.invalidate(ver)
+	if m.cfg.PrecomputeMixtures {
+		// Eager mode: rebuild the serving index now so the first
+		// request after a weight install pays no walk latency. Errors
+		// here are walk failures a later lazy build would hit too.
+		m.PrecomputeMixtures()
+	}
 }
 
 // SetWeights imposes a weight vector. Weights must be non-negative
@@ -208,6 +229,13 @@ func (m *Model) Rebind(g *hin.Graph) error {
 	m.popularity = pop
 	m.index = idx
 	m.walker = metapath.NewWalker(g, m.cfg.WalkCacheSize)
+	// Frozen mixtures embed walk distributions over the old graph's
+	// object IDs; bump the version so none survive the rebind.
+	m.wmu.Lock()
+	m.wver++
+	ver := m.wver
+	m.wmu.Unlock()
+	m.mixtures.invalidate(ver)
 	return nil
 }
 
@@ -230,16 +258,20 @@ func (m *Model) SetGeneric(docs *corpus.Corpus) error {
 func (m *Model) Popularity(e hin.ObjectID) float64 { return m.popularity[e] }
 
 // Candidates returns the candidate entity set for a mention surface
-// form, per the paper's string-comparison rules.
+// form, per the paper's string-comparison rules. The returned slice is
+// freshly allocated on every call and owned by the caller; mutating it
+// cannot corrupt the index.
 func (m *Model) Candidates(mention string) []hin.ObjectID {
 	return m.index.Candidates(mention)
 }
 
 // EntityObjectProb returns the smoothed object model probability
 // P(v|e) = θ·Pe(v) + (1−θ)·Pg(v) (Formula 9) for a single object —
-// the quantity tabulated per candidate in the paper's Figure 3.
+// the quantity tabulated per candidate in the paper's Figure 3. The
+// entity's full mixture is memoised in the mixture index, so probing N
+// objects of one entity walks the meta-paths once, not N times.
 func (m *Model) EntityObjectProb(e, v hin.ObjectID) (float64, error) {
-	pe, err := m.walker.WalkMixturePruned(e, m.paths, m.snapshotWeights(), m.cfg.WalkPruning)
+	pe, err := m.entityMixture(e)
 	if err != nil {
 		return 0, err
 	}
@@ -249,7 +281,7 @@ func (m *Model) EntityObjectProb(e, v hin.ObjectID) (float64, error) {
 // EntitySpecificProb returns the unsmoothed Pe(v) = Σ_p w_p Pe(v|p)
 // (Formula 12).
 func (m *Model) EntitySpecificProb(e, v hin.ObjectID) (float64, error) {
-	pe, err := m.walker.WalkMixturePruned(e, m.paths, m.snapshotWeights(), m.cfg.WalkPruning)
+	pe, err := m.entityMixture(e)
 	if err != nil {
 		return 0, err
 	}
@@ -292,14 +324,14 @@ func (m *Model) link(doc *corpus.Document) (Result, error) {
 	if len(cands) == 0 {
 		return Result{Entity: hin.NoObject}, fmt.Errorf("%w: %q", ErrNoCandidates, doc.Mention)
 	}
-	md, err := m.prepareMention(doc, cands)
+	w, ver := m.snapshotWeightsVer()
+	mx, err := m.prepareMentionMixtures(doc, cands, w, ver)
 	if err != nil {
 		return Result{Entity: hin.NoObject}, err
 	}
-	w := m.snapshotWeights()
 	logs := make([]float64, len(cands))
-	for i := range md.cands {
-		logs[i] = m.logJoint(md, i, w)
+	for i, e := range cands {
+		logs[i] = m.logJointFrozen(mx, i, e)
 	}
 	post := softmax(logs)
 

@@ -73,7 +73,8 @@ func (m *Model) linkNIL(doc *corpus.Document, nilPrior float64) (Result, error) 
 			}},
 		}, nil
 	}
-	md, err := m.prepareMention(doc, cands)
+	w, ver := m.snapshotWeightsVer()
+	mx, err := m.prepareMentionMixtures(doc, cands, w, ver)
 	if err != nil {
 		return Result{}, err
 	}
@@ -85,13 +86,12 @@ func (m *Model) linkNIL(doc *corpus.Document, nilPrior float64) (Result, error) 
 	if candMass < m.cfg.ProbFloor {
 		candMass = m.cfg.ProbFloor
 	}
-	w := m.snapshotWeights()
 	logs := make([]float64, len(cands)+1)
 	// (1−π) / Σ P(e') rescales the candidate priors so they compete
 	// with π on equal footing.
 	scale := math.Log(1-nilPrior) - math.Log(candMass)
-	for i := range md.cands {
-		logs[i] = scale + m.logJoint(md, i, w)
+	for i, e := range cands {
+		logs[i] = scale + m.logJointFrozen(mx, i, e)
 	}
 	logs[len(cands)] = m.nilLogJoint(doc, nilPrior)
 	post := softmax(logs)

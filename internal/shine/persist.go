@@ -59,9 +59,14 @@ func Load(r io.Reader, g *hin.Graph, docs *corpus.Corpus) (*Model, error) {
 	if st.Version != modelStateVersion {
 		return nil, fmt.Errorf("shine: unsupported model state version %d", st.Version)
 	}
-	// Workers is an execution knob excluded from the artifact
-	// (json:"-"), so a decoded Config always carries the zero value;
-	// resolve it to this host's parallelism before validation.
+	// Workers and PrecomputeMixtures are execution knobs excluded from
+	// the artifact (json:"-"), so a decoded Config always carries their
+	// zero values; resolve Workers to this host's parallelism before
+	// validation. PrecomputeMixtures stays off — the deployment decides
+	// (server.Options.Precompute / the -precompute flag); the frozen
+	// mixture index otherwise fills lazily from the restored weights,
+	// which SetWeights below installs through the usual
+	// version-bump-and-invalidate path.
 	st.Config.Workers = runtime.GOMAXPROCS(0)
 	entityType, ok := g.Schema().TypeByName(st.EntityType)
 	if !ok {

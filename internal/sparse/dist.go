@@ -1,0 +1,440 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Dist is an immutable sparse distribution in CSR-style layout:
+// parallel arrays of strictly ascending int32 indices and their
+// non-zero float64 values. It stores the same information as a Vector
+// but without per-entry hashing: lookups are binary searches, scans
+// are cache-friendly array walks, and the footprint per entry is 12
+// bytes plus no bucket overhead — the representation PathSim-style
+// meta-path engines use for frozen walk statistics.
+//
+// The zero value is a usable empty distribution. A Dist must never be
+// mutated after construction; all methods are read-only and the
+// backing arrays may be shared by many readers (the walker cache
+// hands the same Dist to every caller).
+type Dist struct {
+	idx []int32
+	val []float64
+}
+
+// Freeze converts a map-backed Vector into a Dist. Entries whose
+// value is exactly zero are dropped (a Vector built through Set/Add
+// never stores them, but a literal might). The input is not retained.
+func Freeze(v Vector) Dist {
+	if len(v) == 0 {
+		return Dist{}
+	}
+	idx := make([]int32, 0, len(v))
+	for i, x := range v {
+		if x != 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	val := make([]float64, len(idx))
+	for k, i := range idx {
+		val[k] = v[i]
+	}
+	return Dist{idx: idx, val: val}
+}
+
+// Thaw converts the Dist back into a map-backed Vector. The result is
+// freshly allocated and owned by the caller.
+func (d Dist) Thaw() Vector {
+	v := make(Vector, len(d.idx))
+	for k, i := range d.idx {
+		v[i] = d.val[k]
+	}
+	return v
+}
+
+// UnitDist returns the distribution with a single entry of 1 at index
+// i — the starting distribution of a random walk rooted at object i.
+func UnitDist(i int32) Dist {
+	return Dist{idx: []int32{i}, val: []float64{1}}
+}
+
+// Len returns the number of stored (non-zero) entries.
+func (d Dist) Len() int { return len(d.idx) }
+
+// At returns the k-th entry in ascending index order.
+func (d Dist) At(k int) (int32, float64) { return d.idx[k], d.val[k] }
+
+// Get returns the value at index i (zero if absent) by binary search.
+func (d Dist) Get(i int32) float64 {
+	lo, hi := 0, len(d.idx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.idx[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d.idx) && d.idx[lo] == i {
+		return d.val[lo]
+	}
+	return 0
+}
+
+// GetMany writes the value at each index of sorted into out (zero for
+// absent indices) with a single linear merge over the two ascending
+// sequences. sorted must be in ascending order; out must have
+// len(sorted) capacity. This is the serving-path primitive: scoring a
+// document merges its sorted object IDs against a frozen mixture in
+// O(|doc| + |dist|) with no hashing.
+func (d Dist) GetMany(sorted []int32, out []float64) {
+	k := 0
+	for j, i := range sorted {
+		for k < len(d.idx) && d.idx[k] < i {
+			k++
+		}
+		if k < len(d.idx) && d.idx[k] == i {
+			out[j] = d.val[k]
+		} else {
+			out[j] = 0
+		}
+	}
+}
+
+// Sum returns the sum of all entries, accumulated in ascending index
+// order (deterministic).
+func (d Dist) Sum() float64 {
+	s := 0.0
+	for _, x := range d.val {
+		s += x
+	}
+	return s
+}
+
+// Dot returns the inner product of d and e by a linear merge over the
+// two sorted index arrays.
+func (d Dist) Dot(e Dist) float64 {
+	s := 0.0
+	a, b := 0, 0
+	for a < len(d.idx) && b < len(e.idx) {
+		switch {
+		case d.idx[a] < e.idx[b]:
+			a++
+		case d.idx[a] > e.idx[b]:
+			b++
+		default:
+			s += d.val[a] * e.val[b]
+			a++
+			b++
+		}
+	}
+	return s
+}
+
+// ScaledAddTo accumulates c·d into the map-backed vector v, visiting
+// entries in ascending index order.
+func (d Dist) ScaledAddTo(v Vector, c float64) {
+	if c == 0 {
+		return
+	}
+	for k, i := range d.idx {
+		v.Add(i, c*d.val[k])
+	}
+}
+
+// ForEach calls fn for every entry in ascending index order.
+func (d Dist) ForEach(fn func(i int32, x float64)) {
+	for k, i := range d.idx {
+		fn(i, d.val[k])
+	}
+}
+
+// Top returns the n largest entries in descending value order (ties
+// broken by ascending index) — the same selection rule as Vector.Top.
+func (d Dist) Top(n int) []Entry {
+	entries := make([]Entry, len(d.idx))
+	for k, i := range d.idx {
+		entries[k] = Entry{Index: i, Value: d.val[k]}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].Value != entries[b].Value {
+			return entries[a].Value > entries[b].Value
+		}
+		return entries[a].Index < entries[b].Index
+	})
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	return entries
+}
+
+// Indices returns a copy of the stored indices in ascending order.
+func (d Dist) Indices() []int32 {
+	return append([]int32(nil), d.idx...)
+}
+
+// Equal reports whether d and e agree entry-wise within tol.
+func (d Dist) Equal(e Dist, tol float64) bool {
+	a, b := 0, 0
+	for a < len(d.idx) && b < len(e.idx) {
+		switch {
+		case d.idx[a] < e.idx[b]:
+			if abs(d.val[a]) > tol {
+				return false
+			}
+			a++
+		case d.idx[a] > e.idx[b]:
+			if abs(e.val[b]) > tol {
+				return false
+			}
+			b++
+		default:
+			if abs(d.val[a]-e.val[b]) > tol {
+				return false
+			}
+			a++
+			b++
+		}
+	}
+	for ; a < len(d.idx); a++ {
+		if abs(d.val[a]) > tol {
+			return false
+		}
+	}
+	for ; b < len(e.idx); b++ {
+		if abs(e.val[b]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDistribution reports whether d is a probability distribution: all
+// entries non-negative and summing to 1 within tol. An empty Dist is
+// not a distribution.
+func (d Dist) IsDistribution(tol float64) bool {
+	if len(d.idx) == 0 {
+		return false
+	}
+	for _, x := range d.val {
+		if x < -tol {
+			return false
+		}
+	}
+	return abs(d.Sum()-1) <= tol
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// String renders up to 8 entries in index order, for debugging.
+func (d Dist) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	for k, i := range d.idx {
+		if k == 8 {
+			fmt.Fprintf(&b, " …+%d", len(d.idx)-8)
+			break
+		}
+		if k > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%d:%.4g", i, d.val[k])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// MixDists returns Σ c_k · ds_k as a frozen Dist: the CSR counterpart
+// of Mix. For every output index, contributions are accumulated in
+// slice order k — the same per-index addition sequence as the
+// map-backed Mix — so the two agree bit-for-bit. len(cs) must equal
+// len(ds).
+func MixDists(ds []Dist, cs []float64) Dist {
+	if len(ds) != len(cs) {
+		panic(fmt.Sprintf("sparse: MixDists with %d distributions and %d coefficients", len(ds), len(cs)))
+	}
+	n := int32(0)
+	for _, d := range ds {
+		if l := len(d.idx); l > 0 && d.idx[l-1]+1 > n {
+			n = d.idx[l-1] + 1
+		}
+	}
+	acc := NewAccum(int(n))
+	acc.AddMix(ds, cs)
+	return acc.Dist()
+}
+
+// Accum is a dense scatter-gather accumulator: a dense value array
+// plus the list of touched indices, so building a sparse result costs
+// O(touched) and resetting costs O(touched) rather than O(dense). It
+// is the workhorse of the CSR walk kernel — frontier expansion
+// scatters into the dense array without hashing, and the sorted
+// touched list yields the next frontier in ascending index order.
+//
+// An Accum is not safe for concurrent use; check one out per
+// goroutine (see AccumPool).
+type Accum struct {
+	dense   []float64
+	seen    []bool
+	touched []int32
+}
+
+// NewAccum returns an accumulator over indices [0, n).
+func NewAccum(n int) *Accum {
+	return &Accum{dense: make([]float64, n), seen: make([]bool, n)}
+}
+
+// Grow ensures the accumulator covers indices [0, n). Existing
+// accumulated state is preserved.
+func (a *Accum) Grow(n int) {
+	if n <= len(a.dense) {
+		return
+	}
+	dense := make([]float64, n)
+	copy(dense, a.dense)
+	seen := make([]bool, n)
+	copy(seen, a.seen)
+	a.dense, a.seen = dense, seen
+}
+
+// Size returns the dense capacity (the exclusive index upper bound).
+func (a *Accum) Size() int { return len(a.dense) }
+
+// Len returns the number of distinct indices touched since the last
+// Reset.
+func (a *Accum) Len() int { return len(a.touched) }
+
+// Add accumulates x into index i.
+func (a *Accum) Add(i int32, x float64) {
+	if !a.seen[i] {
+		a.seen[i] = true
+		a.touched = append(a.touched, i)
+	}
+	a.dense[i] += x
+}
+
+// AddScaled accumulates c·d entry-wise.
+func (a *Accum) AddScaled(d Dist, c float64) {
+	if c == 0 {
+		return
+	}
+	for k, i := range d.idx {
+		a.Add(i, c*d.val[k])
+	}
+}
+
+// AddMix accumulates Σ c_k · ds_k, skipping zero coefficients (a
+// zero-weight meta-path must not enlarge the touched set).
+func (a *Accum) AddMix(ds []Dist, cs []float64) {
+	for k, d := range ds {
+		a.AddScaled(d, cs[k])
+	}
+}
+
+// Reset clears the accumulator in O(touched).
+func (a *Accum) Reset() {
+	for _, i := range a.touched {
+		a.dense[i] = 0
+		a.seen[i] = false
+	}
+	a.touched = a.touched[:0]
+}
+
+// sortTouched orders the touched list ascending. Sorting makes every
+// consumer deterministic: the walk kernel expands the next frontier
+// in ascending index order, and frozen results list indices in CSR
+// order, independent of the scatter order that built them.
+func (a *Accum) sortTouched() {
+	sort.Slice(a.touched, func(x, y int) bool { return a.touched[x] < a.touched[y] })
+}
+
+// Dist freezes the accumulated values into a new immutable Dist,
+// dropping entries that cancelled to exactly zero (matching Vector's
+// Add semantics, which delete them). The accumulator is left intact;
+// call Reset to reuse it.
+func (a *Accum) Dist() Dist {
+	a.sortTouched()
+	nz := 0
+	for _, i := range a.touched {
+		if a.dense[i] != 0 {
+			nz++
+		}
+	}
+	idx := make([]int32, 0, nz)
+	val := make([]float64, 0, nz)
+	for _, i := range a.touched {
+		if x := a.dense[i]; x != 0 {
+			idx = append(idx, i)
+			val = append(val, x)
+		}
+	}
+	return Dist{idx: idx, val: val}
+}
+
+// TopDist freezes only the n largest accumulated entries (descending
+// value, ties broken by ascending index — Vector.Top's selection
+// rule) into a Dist. This is the support-pruning path of the walk
+// kernel.
+func (a *Accum) TopDist(n int) Dist {
+	a.sortTouched()
+	entries := make([]Entry, 0, len(a.touched))
+	for _, i := range a.touched {
+		if x := a.dense[i]; x != 0 {
+			entries = append(entries, Entry{Index: i, Value: x})
+		}
+	}
+	sort.Slice(entries, func(x, y int) bool {
+		if entries[x].Value != entries[y].Value {
+			return entries[x].Value > entries[y].Value
+		}
+		return entries[x].Index < entries[y].Index
+	})
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	sort.Slice(entries, func(x, y int) bool { return entries[x].Index < entries[y].Index })
+	idx := make([]int32, len(entries))
+	val := make([]float64, len(entries))
+	for k, e := range entries {
+		idx[k] = e.Index
+		val[k] = e.Value
+	}
+	return Dist{idx: idx, val: val}
+}
+
+// AccumPool is a sync.Pool of equally sized accumulators. Hot paths
+// (walk hops, mixture builds) check an Accum out per operation instead
+// of allocating an O(|V|) dense array each time.
+type AccumPool struct {
+	n    int
+	pool sync.Pool
+}
+
+// NewAccumPool returns a pool of accumulators over indices [0, n).
+func NewAccumPool(n int) *AccumPool {
+	p := &AccumPool{n: n}
+	p.pool.New = func() interface{} { return NewAccum(n) }
+	return p
+}
+
+// Get checks out a reset accumulator.
+func (p *AccumPool) Get() *Accum {
+	return p.pool.Get().(*Accum)
+}
+
+// Put resets the accumulator and returns it to the pool.
+func (p *AccumPool) Put(a *Accum) {
+	if a == nil || len(a.dense) != p.n {
+		return
+	}
+	a.Reset()
+	p.pool.Put(a)
+}

@@ -1,0 +1,305 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomDistVector builds a Vector with nz entries drawn from [0, n) with
+// values in (-1, 1), occasionally cancelling an entry to exactly zero
+// through Add (which deletes it) so frozen forms must match.
+func randomDistVector(rng *rand.Rand, n, nz int) Vector {
+	v := New()
+	for j := 0; j < nz; j++ {
+		i := int32(rng.Intn(n))
+		x := rng.Float64()*2 - 1
+		v.Add(i, x)
+		if rng.Intn(8) == 0 {
+			v.Add(i, -x) // exact cancellation: Add deletes the entry
+		}
+	}
+	return v
+}
+
+// TestFreezeThawRoundTrip: Thaw(Freeze(v)) reproduces v bit-for-bit.
+func TestFreezeThawRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		v := randomDistVector(rng, 200, rng.Intn(60))
+		d := Freeze(v)
+		back := d.Thaw()
+		if len(back) != len(v) {
+			t.Fatalf("trial %d: round trip has %d entries, want %d", trial, len(back), len(v))
+		}
+		for i, x := range v {
+			if got := back[i]; got != x {
+				t.Fatalf("trial %d: round trip [%d] = %v, want %v", trial, i, got, x)
+			}
+		}
+	}
+}
+
+// TestFreezeDropsExactZeros: a literal Vector holding explicit zeros
+// freezes to a Dist without them.
+func TestFreezeDropsExactZeros(t *testing.T) {
+	v := Vector{3: 0, 5: 0.25, 9: 0}
+	d := Freeze(v)
+	if d.Len() != 1 {
+		t.Fatalf("frozen literal has %d entries, want 1", d.Len())
+	}
+	if i, x := d.At(0); i != 5 || x != 0.25 {
+		t.Fatalf("frozen entry = (%d, %v), want (5, 0.25)", i, x)
+	}
+}
+
+// TestDistGetMatchesVector: Get agrees with the map bit-for-bit, on
+// present and absent indices alike.
+func TestDistGetMatchesVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		v := randomDistVector(rng, 300, rng.Intn(80))
+		d := Freeze(v)
+		for probe := 0; probe < 100; probe++ {
+			i := int32(rng.Intn(310))
+			if got, want := d.Get(i), v.Get(i); got != want {
+				t.Fatalf("trial %d: Get(%d) = %v, want %v", trial, i, got, want)
+			}
+		}
+	}
+}
+
+// TestDistGetManyMatchesGet: the linear merge agrees with per-index
+// binary search for ascending query sets with gaps and absent IDs.
+func TestDistGetManyMatchesGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		v := randomDistVector(rng, 300, rng.Intn(80))
+		d := Freeze(v)
+		nq := rng.Intn(50)
+		sorted := make([]int32, 0, nq)
+		next := int32(0)
+		for j := 0; j < nq; j++ {
+			next += int32(1 + rng.Intn(12))
+			sorted = append(sorted, next)
+		}
+		out := make([]float64, len(sorted))
+		d.GetMany(sorted, out)
+		for j, i := range sorted {
+			if want := d.Get(i); out[j] != want {
+				t.Fatalf("trial %d: GetMany[%d]=%v, Get(%d)=%v", trial, j, out[j], i, want)
+			}
+		}
+	}
+}
+
+// TestMixDistsMatchesMix: the CSR mixture is bit-for-bit identical to
+// the map-backed Mix — same per-index addition order, same dropped
+// zeros.
+func TestMixDistsMatchesMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(5)
+		vs := make([]Vector, k)
+		ds := make([]Dist, k)
+		cs := make([]float64, k)
+		for p := 0; p < k; p++ {
+			vs[p] = randomDistVector(rng, 150, rng.Intn(40))
+			ds[p] = Freeze(vs[p])
+			cs[p] = rng.Float64()
+			if rng.Intn(4) == 0 {
+				cs[p] = 0 // zero-weight paths must not contribute
+			}
+		}
+		want := Mix(vs, cs)
+		got := MixDists(ds, cs)
+		if got.Len() != len(want) {
+			t.Fatalf("trial %d: mixture has %d entries, want %d", trial, got.Len(), len(want))
+		}
+		got.ForEach(func(i int32, x float64) {
+			if wx := want[i]; x != wx {
+				t.Fatalf("trial %d: mixture[%d] = %v, want %v (bit-for-bit)", trial, i, x, wx)
+			}
+		})
+	}
+}
+
+// TestDistTopMatchesVectorTop: identical selection, order and values.
+func TestDistTopMatchesVectorTop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		v := randomDistVector(rng, 100, rng.Intn(50))
+		// Force value ties so the index tiebreak is exercised.
+		if len(v) >= 2 {
+			idx := v.Indices()
+			v[idx[0]] = 0.5
+			v[idx[len(idx)-1]] = 0.5
+		}
+		d := Freeze(v)
+		n := rng.Intn(12)
+		got, want := d.Top(n), v.Top(n)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Top(%d) lengths %d vs %d", trial, n, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d: Top[%d] = %+v, want %+v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestDistDotMatchesSortedReference: Dot agrees with an ascending-order
+// reference accumulation bit-for-bit (Vector.Dot iterates in map order,
+// so it is only approximately comparable).
+func TestDistDotMatchesSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		a := Freeze(randomDistVector(rng, 120, rng.Intn(40)))
+		b := Freeze(randomDistVector(rng, 120, rng.Intn(40)))
+		want := 0.0
+		a.ForEach(func(i int32, x float64) {
+			if y := b.Get(i); y != 0 {
+				want += x * y
+			}
+		})
+		if got := a.Dot(b); got != want {
+			t.Fatalf("trial %d: Dot = %v, want %v", trial, got, want)
+		}
+		// Cross-check against the map implementation within tolerance.
+		av, bv := a.Thaw(), b.Thaw()
+		if mapDot := av.Dot(bv); math.Abs(a.Dot(b)-mapDot) > 1e-12 {
+			t.Fatalf("trial %d: Dot = %v, map Dot = %v", trial, a.Dot(b), mapDot)
+		}
+	}
+}
+
+// TestAccumMatchesVectorAdds: scattering a random Add sequence through
+// an Accum freezes to exactly what the same sequence builds in a map.
+func TestAccumMatchesVectorAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		const n = 128
+		acc := NewAccum(n)
+		v := New()
+		for j := 0; j < rng.Intn(200); j++ {
+			i := int32(rng.Intn(n))
+			x := rng.Float64()*2 - 1
+			acc.Add(i, x)
+			v.Add(i, x)
+			if rng.Intn(10) == 0 {
+				acc.Add(i, -acc.dense[i]) // cancel to exactly zero
+				v.Add(i, -v[i])
+			}
+		}
+		d := acc.Dist()
+		if d.Len() != len(v) {
+			t.Fatalf("trial %d: frozen accum has %d entries, want %d", trial, d.Len(), len(v))
+		}
+		d.ForEach(func(i int32, x float64) {
+			if wx, ok := v[i]; !ok || x != wx {
+				t.Fatalf("trial %d: accum[%d] = %v, map %v", trial, i, x, wx)
+			}
+		})
+		// Reset must fully clear in O(touched).
+		acc.Reset()
+		if acc.Len() != 0 {
+			t.Fatalf("trial %d: %d touched after Reset", trial, acc.Len())
+		}
+		for i := 0; i < n; i++ {
+			if acc.dense[i] != 0 || acc.seen[i] {
+				t.Fatalf("trial %d: index %d dirty after Reset", trial, i)
+			}
+		}
+	}
+}
+
+// TestAccumTopDistMatchesVectorTop: the pruning path applies exactly
+// Vector.Top's selection rule, then re-sorts by index.
+func TestAccumTopDistMatchesVectorTop(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		const n = 96
+		acc := NewAccum(n)
+		v := New()
+		for j := 0; j < 5+rng.Intn(120); j++ {
+			i := int32(rng.Intn(n))
+			x := rng.Float64()
+			acc.Add(i, x)
+			v.Add(i, x)
+		}
+		k := 1 + rng.Intn(10)
+		got := acc.TopDist(k)
+		want := v.Top(k)
+		if got.Len() != len(want) {
+			t.Fatalf("trial %d: TopDist(%d) has %d entries, want %d", trial, k, got.Len(), len(want))
+		}
+		for _, e := range want {
+			if x := got.Get(e.Index); x != e.Value {
+				t.Fatalf("trial %d: TopDist[%d] = %v, want %v", trial, e.Index, x, e.Value)
+			}
+		}
+		// CSR invariant: strictly ascending indices.
+		for j := 1; j < got.Len(); j++ {
+			a, _ := got.At(j - 1)
+			b, _ := got.At(j)
+			if a >= b {
+				t.Fatalf("trial %d: TopDist indices not ascending: %d then %d", trial, a, b)
+			}
+		}
+	}
+}
+
+// TestAccumPool: checked-out accumulators are always clean, and a
+// wrong-size accumulator is rejected rather than poisoning the pool.
+func TestAccumPool(t *testing.T) {
+	p := NewAccumPool(64)
+	a := p.Get()
+	if a.Size() != 64 || a.Len() != 0 {
+		t.Fatalf("fresh accum: size %d touched %d", a.Size(), a.Len())
+	}
+	a.Add(7, 1.5)
+	p.Put(a)
+	b := p.Get()
+	if b.Len() != 0 || b.dense[7] != 0 {
+		t.Fatal("pooled accum returned dirty")
+	}
+	p.Put(NewAccum(8)) // wrong size: must be dropped
+	c := p.Get()
+	if c.Size() != 64 {
+		t.Fatalf("pool handed out wrong-size accum (%d)", c.Size())
+	}
+	p.Put(nil) // must not panic
+}
+
+// TestUnitDistMatchesUnit and basic invariants of the tiny helpers.
+func TestUnitDistMatchesUnit(t *testing.T) {
+	d := UnitDist(42)
+	if !d.Equal(Freeze(Unit(42)), 0) {
+		t.Error("UnitDist(42) != Freeze(Unit(42))")
+	}
+	if !d.IsDistribution(0) {
+		t.Error("UnitDist not a distribution")
+	}
+	if (Dist{}).IsDistribution(1e-9) {
+		t.Error("empty Dist is a distribution")
+	}
+	if s := d.Sum(); s != 1 {
+		t.Errorf("UnitDist sum %v", s)
+	}
+}
+
+// TestAccumGrow preserves accumulated state while extending capacity.
+func TestAccumGrow(t *testing.T) {
+	a := NewAccum(4)
+	a.Add(2, 0.5)
+	a.Grow(16)
+	if a.Size() != 16 {
+		t.Fatalf("size after Grow = %d", a.Size())
+	}
+	a.Add(10, 0.25)
+	d := a.Dist()
+	if d.Get(2) != 0.5 || d.Get(10) != 0.25 {
+		t.Fatalf("state lost across Grow: %v", d)
+	}
+}

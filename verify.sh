@@ -7,3 +7,6 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 go test -race ./...
+# Smoke the serving-path benchmarks (one iteration each) so they
+# cannot rot between perf PRs; real numbers live in BENCH_link.json.
+go test -run=NONE -bench='Link' -benchtime=1x .
