@@ -340,6 +340,87 @@ func BenchmarkPageRank(b *testing.B) {
 	}
 }
 
+// pageRankWithWorkers times one pull-kernel run at the given fan-out
+// and reports edges processed per second per iteration.
+func pageRankWithWorkers(b *testing.B, g *hin.Graph, workers int) time.Duration {
+	b.Helper()
+	opts := pagerank.DefaultOptions()
+	opts.Workers = workers
+	start := time.Now()
+	res, err := pagerank.Compute(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if res.Iterations > 0 {
+		perIter := elapsed / time.Duration(res.Iterations)
+		b.ReportMetric(float64(g.NumLinks())/perIter.Seconds(), "edges/s")
+	}
+	return elapsed
+}
+
+// BenchmarkPageRankSerial measures the CSR pull kernel at Workers=1 —
+// the deterministic baseline every parallel run reproduces
+// bit-for-bit.
+func BenchmarkPageRankSerial(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		pageRankWithWorkers(b, e.DS.Data.Graph, 1)
+	}
+}
+
+// BenchmarkPageRankParallel measures the pull kernel at 8 workers and
+// reports the speedup over a serial run measured in the same process.
+// Like the training benchmarks, the speedup tracks available cores:
+// ~1.0 on a single-core host, approaching min(8, cores) elsewhere.
+func BenchmarkPageRankParallel(b *testing.B) {
+	e := benchEnv(b)
+	serial := pageRankWithWorkers(b, e.DS.Data.Graph, 1) // untimed ratio baseline
+	b.ResetTimer()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		total += pageRankWithWorkers(b, e.DS.Data.Graph, 8)
+	}
+	perOp := total / time.Duration(b.N)
+	b.ReportMetric(float64(serial)/float64(perOp), "speedup-vs-serial")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkPageRankReference measures the retired edge-push kernel
+// (the oracle pull is tested against); the pull kernel should beat its
+// per-iteration edge throughput.
+func BenchmarkPageRankReference(b *testing.B) {
+	e := benchEnv(b)
+	g := e.DS.Data.Graph
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := pagerank.ReferenceCompute(g, pagerank.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Iterations > 0 {
+			perIter := time.Since(start) / time.Duration(res.Iterations)
+			b.ReportMetric(float64(g.NumLinks())/perIter.Seconds(), "edges/s")
+		}
+	}
+}
+
+// BenchmarkGraphBuild measures Builder.Build — CSR construction fanned
+// out across relation pairs — on the benchmark network's edge set.
+func BenchmarkGraphBuild(b *testing.B) {
+	e := benchEnv(b)
+	orig := e.DS.Data.Graph
+	builder := hin.NewBuilderFromGraph(orig)
+	b.ReportMetric(float64(orig.NumLinks()), "links")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := builder.Build()
+		if g.NumLinks() != orig.NumLinks() {
+			b.Fatalf("rebuild produced %d links, want %d", g.NumLinks(), orig.NumLinks())
+		}
+	}
+}
+
 // BenchmarkMetaPathWalk measures a single length-4 constrained random
 // walk without caching.
 func BenchmarkMetaPathWalk(b *testing.B) {

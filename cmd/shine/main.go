@@ -110,8 +110,9 @@ Commands:
          trained model), link every mention and report accuracy.
   train  -graph FILE -docs FILE -model FILE [-theta F] [-uniform-pop] [-workers N]
          Learn meta-path weights by EM and save the trained model.
-         -workers bounds training parallelism (0 = GOMAXPROCS); any
-         worker count learns bit-identical weights.
+         -workers bounds offline (PageRank) and training parallelism
+         (0 = GOMAXPROCS); any worker count computes bit-identical
+         scores and learns bit-identical weights.
   annotate -graph FILE -docs FILE [-model FILE] [-in FILE] [-min-posterior F]
          Detect every entity mention in raw text (stdin or -in) and
          link each one, printing spans, entities and confidences.
@@ -390,7 +391,7 @@ func cmdLink(args []string) error {
 	uniformPop := fs.Bool("uniform-pop", false, "use the uniform popularity model")
 	noLearn := fs.Bool("no-learn", false, "skip EM learning; use uniform meta-path weights")
 	top := fs.Int("top", 0, "print the top-N candidate posteriors per mention")
-	workers := fs.Int("workers", 0, "training worker goroutines (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "offline-pipeline and training worker goroutines (0 = GOMAXPROCS)")
 	precompute := fs.Bool("precompute", false, "eagerly build the frozen entity-mixture index before linking")
 	fs.Parse(args)
 
@@ -491,7 +492,7 @@ func cmdTrain(args []string) error {
 	modelPath := fs.String("model", "model.json", "output path for the trained model")
 	theta := fs.Float64("theta", 0.2, "smoothing parameter θ")
 	uniformPop := fs.Bool("uniform-pop", false, "use the uniform popularity model")
-	workers := fs.Int("workers", 0, "training worker goroutines (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "offline-pipeline and training worker goroutines (0 = GOMAXPROCS)")
 	precompute := fs.Bool("precompute", false, "eagerly rebuild the frozen entity-mixture index after each weight install")
 	fs.Parse(args)
 
@@ -624,14 +625,19 @@ func cmdServe(args []string) error {
 	metricsOn := fs.Bool("metrics", true, "expose Prometheus metrics at GET /metrics")
 	pprofOn := fs.Bool("pprof", false, "mount profiling handlers under /debug/pprof/")
 	drain := fs.Duration("drain", 10*time.Second, "connection drain deadline on SIGINT/SIGTERM")
-	workers := fs.Int("workers", 0, "startup-training worker goroutines (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "startup offline-pipeline and training worker goroutines (0 = GOMAXPROCS)")
 	precompute := fs.Bool("precompute", false, "build the frozen entity-mixture index before accepting traffic")
 	fs.Parse(args)
 
+	// One registry for the whole process, wired before learning so a
+	// startup EM run's iteration metrics are visible on /metrics.
+	reg := obs.NewRegistry()
+	buildStart := time.Now()
 	g, err := loadGraph(*graphPath)
 	if err != nil {
 		return err
 	}
+	reg.Gauge(shine.MetricGraphBuildSeconds).Set(time.Since(buildStart).Seconds())
 	d, err := dblpHandles(g)
 	if err != nil {
 		return err
@@ -640,9 +646,6 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	// One registry for the whole process, wired before learning so a
-	// startup EM run's iteration metrics are visible on /metrics.
-	reg := obs.NewRegistry()
 	var m *shine.Model
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)

@@ -6,8 +6,9 @@
 package corpus
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"shine/internal/hin"
 	"shine/internal/sparse"
@@ -68,7 +69,7 @@ func NewDocument(id, mention string, gold hin.ObjectID, objects []hin.ObjectID) 
 	for o, c := range counts {
 		d.Objects = append(d.Objects, ObjectCount{Object: o, Count: c})
 	}
-	sort.Slice(d.Objects, func(i, j int) bool { return d.Objects[i].Object < d.Objects[j].Object })
+	slices.SortFunc(d.Objects, func(a, b ObjectCount) int { return cmp.Compare(a.Object, b.Object) })
 	return d
 }
 

@@ -2,7 +2,9 @@ package hin
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+
+	"shine/internal/par"
 )
 
 // ObjectID identifies an object (node) within a Graph. IDs are dense:
@@ -156,10 +158,27 @@ func (b *Builder) Build() *Graph {
 	}
 
 	// Materialise forward and inverse CSR structures per relation pair.
-	for rel := 0; rel < b.schema.NumRelations(); rel += 2 {
+	// Pairs are independent (each writes only its own two rels slots),
+	// so they build in parallel; the per-pair construction itself is
+	// deterministic, so the resulting graph is identical for any worker
+	// count.
+	numPairs := b.schema.NumRelations() / 2
+	par.For(numPairs, 0, func(pair int) {
+		rel := 2 * pair
 		fwd := b.edges[rel]
 		g.rels[rel] = buildCSR(n, fwd, false)
 		g.rels[rel+1] = buildCSR(n, fwd, true)
+	})
+
+	// Cache the per-object total out-degree (the PageRank out-degree
+	// N_v) once: Stats, TotalDegree and the pull-based PageRank kernel
+	// all read this array instead of rescanning every relation.
+	g.totalDeg = make([]int32, n)
+	for rel := range g.rels {
+		off := g.rels[rel].off
+		for v := 0; v < n; v++ {
+			g.totalDeg[v] += off[v+1] - off[v]
+		}
 	}
 	return g
 }
@@ -192,8 +211,7 @@ func buildCSR(n int, edges []edge, reversed bool) csr {
 	// Sort each adjacency run for deterministic iteration and binary
 	// searchability.
 	for v := 0; v < n; v++ {
-		run := adj[off[v]:off[v+1]]
-		sort.Slice(run, func(i, j int) bool { return run[i] < run[j] })
+		slices.Sort(adj[off[v]:off[v+1]])
 	}
 	return csr{off: off, adj: adj}
 }
@@ -223,6 +241,9 @@ type Graph struct {
 	byType    [][]ObjectID
 	nameIndex map[nameKey]ObjectID
 	rels      []csr
+	// totalDeg caches the total out-degree of every object across all
+	// relations, computed once at Build time.
+	totalDeg []int32
 }
 
 // Schema returns the network schema the graph was built over.
@@ -283,11 +304,27 @@ func (g *Graph) Degree(rel RelationID, v ObjectID) int {
 // all relations (every link contributes to exactly one relation in
 // each direction, so this is the PageRank out-degree N_v).
 func (g *Graph) TotalDegree(v ObjectID) int {
-	total := 0
-	for rel := range g.rels {
-		total += g.rels[rel].degree(v)
-	}
-	return total
+	return int(g.totalDeg[v])
+}
+
+// TotalDegrees returns the total out-degree of every object, indexed
+// by ObjectID — the column norms of the PageRank link matrix B,
+// computed once at Build time. The returned slice is shared and must
+// not be modified.
+func (g *Graph) TotalDegrees() []int32 { return g.totalDeg }
+
+// NumRelations returns the number of directed relations the graph
+// stores adjacency for (forward and inverse relations both count).
+func (g *Graph) NumRelations() int { return len(g.rels) }
+
+// Rows exposes relation rel's raw CSR arrays: off has NumObjects()+1
+// entries and adj[off[v]:off[v+1]] is v's neighbor run in ascending
+// ID order with multiplicity. This is the zero-overhead accessor the
+// pull-based PageRank kernel iterates — no per-edge closure, no
+// per-row method call. Both slices are shared and must not be
+// modified.
+func (g *Graph) Rows(rel RelationID) (off []int32, adj []ObjectID) {
+	return g.rels[rel].off, g.rels[rel].adj
 }
 
 // ForEachLink calls fn for every directed link in the graph, i.e. each
@@ -370,8 +407,10 @@ func (g *Graph) Stats() Stats {
 	for rel := 0; rel < len(g.rels); rel += 2 {
 		st.LinksByRel[g.schema.Relation(RelationID(rel)).Name] = len(g.rels[rel].adj)
 	}
-	for v := 0; v < g.NumObjects(); v++ {
-		if g.TotalDegree(ObjectID(v)) == 0 {
+	// The Build-time degree cache makes this O(V) instead of the old
+	// O(V·R) rescan of every relation per object.
+	for _, d := range g.totalDeg {
+		if d == 0 {
 			st.Isolated++
 		}
 	}

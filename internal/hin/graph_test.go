@@ -1,6 +1,8 @@
 package hin
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 )
 
@@ -220,5 +222,103 @@ func TestBuildIsRepeatable(t *testing.T) {
 	}
 	if g1.Degree(d.Write, a) != 1 || g2.Degree(d.Write, a) != 2 {
 		t.Errorf("degrees = %d, %d, want 1, 2", g1.Degree(d.Write, a), g2.Degree(d.Write, a))
+	}
+}
+
+func TestTotalDegreesMatchesPerRelationSums(t *testing.T) {
+	d := NewDBLPSchema()
+	b := NewBuilder(d.Schema)
+	a1 := b.MustAddObject(d.Author, "A1")
+	a2 := b.MustAddObject(d.Author, "A2")
+	v := b.MustAddObject(d.Venue, "V")
+	for i := 0; i < 4; i++ {
+		p := b.MustAddObject(d.Paper, "P"+string(rune('0'+i)))
+		b.MustAddLink(d.Write, a1, p)
+		if i%2 == 0 {
+			b.MustAddLink(d.Write, a2, p)
+		}
+		b.MustAddLink(d.Publish, v, p)
+	}
+	b.MustAddObject(d.Term, "isolated")
+	g := b.Build()
+
+	degs := g.TotalDegrees()
+	if len(degs) != g.NumObjects() {
+		t.Fatalf("TotalDegrees has %d entries for %d objects", len(degs), g.NumObjects())
+	}
+	for ov := 0; ov < g.NumObjects(); ov++ {
+		want := 0
+		for rel := 0; rel < g.NumRelations(); rel++ {
+			want += g.Degree(RelationID(rel), ObjectID(ov))
+		}
+		if int(degs[ov]) != want {
+			t.Errorf("TotalDegrees[%d] = %d, per-relation sum = %d", ov, degs[ov], want)
+		}
+		if g.TotalDegree(ObjectID(ov)) != want {
+			t.Errorf("TotalDegree(%d) = %d, want %d", ov, g.TotalDegree(ObjectID(ov)), want)
+		}
+	}
+}
+
+func TestRowsExposesCSRRuns(t *testing.T) {
+	d := NewDBLPSchema()
+	b := NewBuilder(d.Schema)
+	a := b.MustAddObject(d.Author, "A")
+	p1 := b.MustAddObject(d.Paper, "P1")
+	p2 := b.MustAddObject(d.Paper, "P2")
+	b.MustAddLink(d.Write, a, p2)
+	b.MustAddLink(d.Write, a, p1)
+	b.MustAddLink(d.Write, a, p1) // multiplicity
+	g := b.Build()
+
+	off, adj := g.Rows(d.Write)
+	if len(off) != g.NumObjects()+1 {
+		t.Fatalf("off has %d entries, want %d", len(off), g.NumObjects()+1)
+	}
+	if len(adj) != 3 {
+		t.Fatalf("adj has %d entries, want 3", len(adj))
+	}
+	for ov := 0; ov < g.NumObjects(); ov++ {
+		run := adj[off[ov]:off[ov+1]]
+		want := g.Neighbors(d.Write, ObjectID(ov))
+		if len(run) != len(want) {
+			t.Fatalf("row %d: %v != Neighbors %v", ov, run, want)
+		}
+		for i := range run {
+			if run[i] != want[i] {
+				t.Fatalf("row %d: %v != Neighbors %v", ov, run, want)
+			}
+		}
+	}
+	// Runs are sorted ascending with multiplicity: P1, P1, P2.
+	row := adj[off[a]:off[a+1]]
+	if row[0] != p1 || row[1] != p1 || row[2] != p2 {
+		t.Errorf("author row = %v, want [%d %d %d]", row, p1, p1, p2)
+	}
+}
+
+// TestParallelBuildIsDeterministic freezes the same builder state
+// twice and serialises both graphs: the parallel per-relation-pair
+// construction must be invisible in the output bytes.
+func TestParallelBuildIsDeterministic(t *testing.T) {
+	d := NewDBLPSchema()
+	b := NewBuilder(d.Schema)
+	for i := 0; i < 50; i++ {
+		a := b.MustAddObject(d.Author, fmt.Sprintf("A%d", i))
+		p := b.MustAddObject(d.Paper, fmt.Sprintf("P%d", i))
+		b.MustAddLink(d.Write, a, p)
+		if i > 0 {
+			b.MustAddLink(d.Write, a, ObjectID(int(p)-2))
+		}
+	}
+	var buf1, buf2 bytes.Buffer
+	if _, err := b.Build().WriteTo(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build().WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Error("two Builds of identical state serialised differently")
 	}
 }

@@ -22,7 +22,7 @@ import (
 	"io"
 	"math"
 	"net/http"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -220,7 +220,7 @@ func labelSignature(labels []string) string {
 	for i := 0; i < len(labels); i += 2 {
 		pairs = append(pairs, pair{labels[i], labels[i+1]})
 	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	slices.SortFunc(pairs, func(a, b pair) int { return strings.Compare(a.k, b.k) })
 	var sb strings.Builder
 	sb.WriteByte('{')
 	for i, p := range pairs {
@@ -277,7 +277,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name := range r.families {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	fams := make([]*family, len(names))
 	for i, name := range names {
 		fams[i] = r.families[name]
@@ -298,7 +298,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for sig := range fam.metrics {
 			sigs = append(sigs, sig)
 		}
-		sort.Strings(sigs)
+		slices.Sort(sigs)
 		for _, sig := range sigs {
 			switch m := fam.metrics[sig].(type) {
 			case *Counter:

@@ -1,0 +1,179 @@
+package pagerank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"shine/internal/hin"
+)
+
+// randomDBLP builds a randomized DBLP-schema network with nAuthors
+// authors, nAuthors*2 papers, a handful of venues and terms, random
+// multi-edges, and a few isolated (dangling) objects of every type.
+func randomDBLP(t testing.TB, seed int64, nAuthors int) *hin.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := hin.NewDBLPSchema()
+	b := hin.NewBuilder(d.Schema)
+
+	authors := make([]hin.ObjectID, nAuthors)
+	for i := range authors {
+		authors[i] = b.MustAddObject(d.Author, fmt.Sprintf("author-%d", i))
+	}
+	venues := make([]hin.ObjectID, 4)
+	for i := range venues {
+		venues[i] = b.MustAddObject(d.Venue, fmt.Sprintf("venue-%d", i))
+	}
+	terms := make([]hin.ObjectID, 12)
+	for i := range terms {
+		terms[i] = b.MustAddObject(d.Term, fmt.Sprintf("term-%d", i))
+	}
+	years := make([]hin.ObjectID, 3)
+	for i := range years {
+		years[i] = b.MustAddObject(d.Year, fmt.Sprintf("%d", 2010+i))
+	}
+	for i := 0; i < nAuthors*2; i++ {
+		p := b.MustAddObject(d.Paper, fmt.Sprintf("paper-%d", i))
+		// 1–3 authors; duplicates allowed (multiplicity carries weight).
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			b.MustAddLink(d.Write, authors[rng.Intn(nAuthors)], p)
+		}
+		b.MustAddLink(d.Publish, venues[rng.Intn(len(venues))], p)
+		for k := 0; k < rng.Intn(4); k++ {
+			b.MustAddLink(d.Contain, p, terms[rng.Intn(len(terms))])
+		}
+		if rng.Intn(2) == 0 {
+			b.MustAddLink(d.PublishedIn, p, years[rng.Intn(len(years))])
+		}
+	}
+	// Dangling objects: no links at all, in every type.
+	for i := 0; i < 3; i++ {
+		b.MustAddObject(d.Author, fmt.Sprintf("isolated-author-%d", i))
+		b.MustAddObject(d.Term, fmt.Sprintf("isolated-term-%d", i))
+	}
+	return b.Build()
+}
+
+// TestPullMatchesReferenceOnRandomGraphs pins the tentpole's
+// correctness claim: the CSR pull kernel and the edge-push oracle
+// agree within 1e-9 L∞ on randomized graphs (they differ only in
+// floating-point summation order).
+func TestPullMatchesReferenceOnRandomGraphs(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := randomDBLP(t, seed, 30+10*int(seed))
+		opts := DefaultOptions()
+		pull, err := Compute(g, opts)
+		if err != nil {
+			t.Fatalf("seed %d: Compute: %v", seed, err)
+		}
+		push, err := ReferenceCompute(g, opts)
+		if err != nil {
+			t.Fatalf("seed %d: ReferenceCompute: %v", seed, err)
+		}
+		if pull.Iterations != push.Iterations {
+			t.Errorf("seed %d: pull converged in %d iterations, push in %d",
+				seed, pull.Iterations, push.Iterations)
+		}
+		linf := 0.0
+		for v := range pull.Scores {
+			if d := math.Abs(pull.Scores[v] - push.Scores[v]); d > linf {
+				linf = d
+			}
+		}
+		if linf > 1e-9 {
+			t.Errorf("seed %d: pull vs push L∞ = %g, want <= 1e-9", seed, linf)
+		}
+	}
+}
+
+// TestComputeMassPreservedWithDangling checks Σpr = 1 on graphs with
+// isolated objects for both kernels and several λ values.
+func TestComputeMassPreservedWithDangling(t *testing.T) {
+	g := randomDBLP(t, 42, 40)
+	if g.Stats().Isolated == 0 {
+		t.Fatal("fixture has no dangling objects; test is vacuous")
+	}
+	for _, lambda := range []float64{0.0, 0.2, 0.7} {
+		opts := DefaultOptions()
+		opts.Lambda = lambda
+		for name, kernel := range map[string]func(*hin.Graph, Options) (*Result, error){
+			"pull": Compute, "push": ReferenceCompute,
+		} {
+			res, err := kernel(g, opts)
+			if err != nil {
+				t.Fatalf("%s λ=%v: %v", name, lambda, err)
+			}
+			sum := 0.0
+			for _, s := range res.Scores {
+				sum += s
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("%s λ=%v: Σpr = %v, want 1", name, lambda, sum)
+			}
+		}
+	}
+}
+
+// TestComputeGoldenDeterminismAcrossWorkers is the determinism
+// contract of the parallel kernel: workers ∈ {1, 4, 8} must produce
+// byte-identical score vectors (and identical iteration metadata),
+// because the blocked reductions fix the summation tree independently
+// of the fan-out width.
+func TestComputeGoldenDeterminismAcrossWorkers(t *testing.T) {
+	g := randomDBLP(t, 99, 60)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	golden, err := Compute(g, opts)
+	if err != nil {
+		t.Fatalf("Compute(workers=1): %v", err)
+	}
+	for _, workers := range []int{4, 8} {
+		opts.Workers = workers
+		res, err := Compute(g, opts)
+		if err != nil {
+			t.Fatalf("Compute(workers=%d): %v", workers, err)
+		}
+		if res.Iterations != golden.Iterations || res.Converged != golden.Converged {
+			t.Fatalf("workers=%d: metadata (%d, %v) differs from golden (%d, %v)",
+				workers, res.Iterations, res.Converged, golden.Iterations, golden.Converged)
+		}
+		if math.Float64bits(res.Delta) != math.Float64bits(golden.Delta) {
+			t.Fatalf("workers=%d: delta %x differs from golden %x",
+				workers, math.Float64bits(res.Delta), math.Float64bits(golden.Delta))
+		}
+		for v := range golden.Scores {
+			if math.Float64bits(res.Scores[v]) != math.Float64bits(golden.Scores[v]) {
+				t.Fatalf("workers=%d: score[%d] = %x, golden %x — not bit-identical",
+					workers, v, math.Float64bits(res.Scores[v]), math.Float64bits(golden.Scores[v]))
+			}
+		}
+	}
+}
+
+// TestReferenceComputeMatchesLegacyBehaviour re-runs the original
+// kernel's test expectations against ReferenceCompute so the oracle
+// itself cannot drift.
+func TestReferenceComputeMatchesLegacyBehaviour(t *testing.T) {
+	_, g, hub, leaf := starDBLP(t, 10)
+	res, err := ReferenceCompute(g, DefaultOptions())
+	if err != nil {
+		t.Fatalf("ReferenceCompute: %v", err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge: delta=%v", res.Delta)
+	}
+	if res.Scores[hub] <= res.Scores[leaf] {
+		t.Errorf("hub score %v <= leaf score %v", res.Scores[hub], res.Scores[leaf])
+	}
+}
+
+func TestComputeRejectsNegativeWorkers(t *testing.T) {
+	_, g, _, _ := starDBLP(t, 2)
+	opts := DefaultOptions()
+	opts.Workers = -1
+	if _, err := Compute(g, opts); err == nil {
+		t.Error("negative Workers accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Package par provides the deterministic fan-out primitives shared by
+// the training and offline pipelines.
+//
+// The hot loops these primitives serve are floating-point sums (the EM
+// objective of Formula 22, its gradient, the PageRank dangling-mass
+// and convergence-delta sweeps). Naively sharding such sums across
+// goroutines makes the result depend on the worker count and the
+// scheduler, because float addition is not associative. Every
+// reduction here is therefore *blocked*: the item range is partitioned
+// into fixed-size blocks whose boundaries depend only on the item
+// count and the block size, each block's partial is accumulated
+// serially left-to-right, and the partials are merged serially in
+// block order after all workers finish. The worker count then only
+// decides which goroutine computes a block — never the shape of the
+// summation tree — so results are bit-for-bit identical for any
+// Workers value, including 1 (which runs inline, spawning no
+// goroutines).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBlock is the block size used by the EM reductions. It is a
+// constant precisely so that block boundaries — and therefore the
+// floating-point summation tree — never vary with configuration or
+// hardware. Vertex-ranged sweeps (PageRank) use larger blocks to
+// amortise scheduling; any constant preserves determinism.
+const DefaultBlock = 32
+
+// ClampWorkers resolves a requested worker count against n work
+// items: non-positive requests take GOMAXPROCS, and the result is
+// bounded to [1, n] so callers can never spawn idle goroutines or
+// divide work zero ways.
+func ClampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) on up to workers goroutines
+// with dynamic scheduling. Each item must write only its own output
+// slot; under that contract the result is independent of scheduling.
+// workers <= 1 runs inline in index order.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = ClampWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NumBlocks is the number of fixed-size blocks covering n items.
+func NumBlocks(n, block int) int {
+	return (n + block - 1) / block
+}
+
+// Blocks invokes fn(b, lo, hi) for every block of the given size
+// covering [0, n), fanning blocks out over up to workers goroutines.
+func Blocks(n, block, workers int, fn func(b, lo, hi int)) {
+	For(NumBlocks(n, block), workers, func(b int) {
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		fn(b, lo, hi)
+	})
+}
+
+// ReduceSum computes Σ compute(block) over [0, n) with block partials
+// merged in block-index order. Bit-for-bit identical for any worker
+// count.
+func ReduceSum(n, block, workers int, compute func(lo, hi int) float64) float64 {
+	partials := make([]float64, NumBlocks(n, block))
+	Blocks(n, block, workers, func(b, lo, hi int) {
+		partials[b] = compute(lo, hi)
+	})
+	total := 0.0
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// ReduceVecSum is ReduceSum for dim-dimensional accumulator vectors:
+// compute adds block [lo, hi)'s contribution into a zeroed acc, and
+// the per-block accumulators are merged coordinate-wise in
+// block-index order. Bit-for-bit identical for any worker count.
+func ReduceVecSum(n, block, dim, workers int, compute func(lo, hi int, acc []float64)) []float64 {
+	partials := make([][]float64, NumBlocks(n, block))
+	Blocks(n, block, workers, func(b, lo, hi int) {
+		acc := make([]float64, dim)
+		compute(lo, hi, acc)
+		partials[b] = acc
+	})
+	out := make([]float64, dim)
+	for _, p := range partials {
+		for k, v := range p {
+			out[k] += v
+		}
+	}
+	return out
+}

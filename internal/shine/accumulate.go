@@ -2,48 +2,28 @@ package shine
 
 import (
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"shine/internal/par"
 )
 
 // Deterministic fan-out primitives for the training pipeline.
 //
 // The EM learner's hot loops are sums over mentions (the objective of
-// Formula 22 and the gradient of Formula 24). Naively sharding those
-// sums across goroutines would make the floating-point result depend
-// on the worker count and the scheduler, because addition of floats
-// is not associative. Instead every reduction here is *blocked*: the
-// mention range is partitioned into fixed-size blocks whose
-// boundaries depend only on the item count, each block's partial is
-// accumulated serially left-to-right, and the partials are merged
-// serially in block order after all workers finish. The worker count
-// then only decides which goroutine computes a block — never the
-// shape of the summation tree — so results are bit-for-bit identical
-// for any Workers value, including 1 (which runs inline, spawning no
-// goroutines).
+// Formula 22 and the gradient of Formula 24). These wrappers delegate
+// to the shared internal/par primitives with a fixed 32-item block
+// size; because the block boundaries and merge order depend only on
+// the item count, the learned weights are bit-for-bit identical for
+// any Workers value (see the par package docs for the full argument).
 
 // reduceBlockSize is the fixed number of items per reduction block.
-// It is a compile-time constant precisely so that block boundaries —
-// and therefore the floating-point summation tree — never vary with
-// configuration or hardware.
-const reduceBlockSize = 32
+// It must never change: existing golden determinism tests pin the
+// exact summation tree it induces.
+const reduceBlockSize = par.DefaultBlock
 
 // clampWorkers resolves a requested worker count against n work
-// items: non-positive requests take GOMAXPROCS, and the result is
-// bounded to [1, n] so callers can never spawn idle goroutines or
-// divide work zero ways.
+// items; see par.ClampWorkers.
 func clampWorkers(workers, n int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
+	return par.ClampWorkers(workers, n)
 }
 
 // workers returns the model's effective training fan-out width.
@@ -52,87 +32,31 @@ func (m *Model) workers() int {
 }
 
 // parallelFor runs fn(i) for every i in [0, n) on up to workers
-// goroutines with dynamic scheduling. Each item must write only its
-// own output slot; under that contract the result is independent of
-// scheduling. workers <= 1 runs inline in index order.
+// goroutines with dynamic scheduling; see par.For.
 func parallelFor(n, workers int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	workers = clampWorkers(workers, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	par.For(n, workers, fn)
 }
 
 // numReduceBlocks is the number of fixed-size blocks covering n items.
 func numReduceBlocks(n int) int {
-	return (n + reduceBlockSize - 1) / reduceBlockSize
+	return par.NumBlocks(n, reduceBlockSize)
 }
 
 // runBlocks invokes fn(block, lo, hi) for every reduction block
 // covering [0, n), fanning blocks out over up to workers goroutines.
 func runBlocks(n, workers int, fn func(block, lo, hi int)) {
-	parallelFor(numReduceBlocks(n), workers, func(b int) {
-		lo := b * reduceBlockSize
-		hi := lo + reduceBlockSize
-		if hi > n {
-			hi = n
-		}
-		fn(b, lo, hi)
-	})
+	par.Blocks(n, reduceBlockSize, workers, fn)
 }
 
 // reduceSum computes Σ compute(block) over [0, n) with block partials
 // merged in block-index order. Bit-for-bit identical for any worker
 // count.
 func reduceSum(n, workers int, compute func(lo, hi int) float64) float64 {
-	partials := make([]float64, numReduceBlocks(n))
-	runBlocks(n, workers, func(b, lo, hi int) {
-		partials[b] = compute(lo, hi)
-	})
-	total := 0.0
-	for _, p := range partials {
-		total += p
-	}
-	return total
+	return par.ReduceSum(n, reduceBlockSize, workers, compute)
 }
 
-// reduceVecSum is reduceSum for dim-dimensional accumulator vectors:
-// compute adds block [lo, hi)'s contribution into a zeroed acc, and
-// the per-block accumulators are merged coordinate-wise in
-// block-index order. Bit-for-bit identical for any worker count.
+// reduceVecSum is reduceSum for dim-dimensional accumulator vectors;
+// see par.ReduceVecSum.
 func reduceVecSum(n, dim, workers int, compute func(lo, hi int, acc []float64)) []float64 {
-	partials := make([][]float64, numReduceBlocks(n))
-	runBlocks(n, workers, func(b, lo, hi int) {
-		acc := make([]float64, dim)
-		compute(lo, hi, acc)
-		partials[b] = acc
-	})
-	out := make([]float64, dim)
-	for _, p := range partials {
-		for k, v := range p {
-			out[k] += v
-		}
-	}
-	return out
+	return par.ReduceVecSum(n, reduceBlockSize, dim, workers, compute)
 }

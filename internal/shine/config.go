@@ -77,12 +77,14 @@ type Config struct {
 	// large-scale variant Section 4 suggests. Zero uses full batches.
 	SGDBatch int
 
-	// Workers is the number of goroutines the training pipeline fans
-	// out to: corpus preparation (the per-mention meta-path walk
-	// precompute), the E-step posterior pass, and the blocked
-	// objective/gradient reductions of the M-step. The reductions
-	// merge per-block partials in a fixed order, so the learned
-	// weights are bit-for-bit identical for every Workers value.
+	// Workers is the number of goroutines the offline and training
+	// pipelines fan out to: the whole-network PageRank popularity
+	// computation (unless PageRank.Workers overrides it), corpus
+	// preparation (the per-mention meta-path walk precompute), the
+	// E-step posterior pass, and the blocked objective/gradient
+	// reductions of the M-step. Every reduction merges per-block
+	// partials in a fixed order, so the learned weights and PageRank
+	// scores are bit-for-bit identical for every Workers value.
 	// DefaultConfig sets GOMAXPROCS. Workers is an execution knob,
 	// not learned state: it is excluded from saved models, and a
 	// loaded model runs with the host's GOMAXPROCS.

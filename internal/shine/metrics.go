@@ -42,6 +42,17 @@ const (
 	// complete-data log-likelihood term of Formula 22) after the most
 	// recent EM iteration.
 	MetricEMLogLikelihood = "shine_em_log_likelihood"
+	// MetricPageRankSeconds is the wall-clock of the most recent
+	// offline whole-network PageRank run (Model construction or
+	// Rebind); 0 under the uniform popularity model.
+	MetricPageRankSeconds = "shine_pagerank_seconds"
+	// MetricPageRankIterations is the power-iteration count of the
+	// most recent PageRank run.
+	MetricPageRankIterations = "shine_pagerank_iterations"
+	// MetricGraphBuildSeconds is the wall-clock of loading and
+	// building the immutable CSR graph, recorded by `shine serve` at
+	// startup.
+	MetricGraphBuildSeconds = "shine_graph_build_seconds"
 	// MetricMixtureEntries is the number of candidate entities with a
 	// frozen mixture cached at the current weight version.
 	MetricMixtureEntries = "shine_mixture_entries"
@@ -75,6 +86,8 @@ type modelMetrics struct {
 	emIterSeconds  *obs.Histogram
 	emPrepSeconds  *obs.Histogram
 	emLogLik       *obs.Gauge
+	prSeconds      *obs.Gauge
+	prIterations   *obs.Gauge
 }
 
 // SetMetrics instruments the model against a registry: link latency,
@@ -105,7 +118,23 @@ func (m *Model) SetMetrics(reg *obs.Registry) {
 		emIterSeconds:  reg.Histogram(MetricEMIterationSeconds, nil),
 		emPrepSeconds:  reg.Histogram(MetricEMPrepareSeconds, nil),
 		emLogLik:       reg.Gauge(MetricEMLogLikelihood),
+		prSeconds:      reg.Gauge(MetricPageRankSeconds),
+		prIterations:   reg.Gauge(MetricPageRankIterations),
 	}
+	// The offline PageRank ran during construction, before any
+	// registry was attached; publish the recorded run so the gauges
+	// are correct from the first scrape. Rebind refreshes them.
+	m.metrics.observePageRank(m.prSeconds, m.prIterations)
+}
+
+// observePageRank publishes the most recent offline PageRank run.
+// Safe on a nil receiver.
+func (mm *modelMetrics) observePageRank(seconds float64, iterations int) {
+	if mm == nil {
+		return
+	}
+	mm.prSeconds.Set(seconds)
+	mm.prIterations.Set(float64(iterations))
 }
 
 // observeLink records the outcome of one link call. Safe on a nil

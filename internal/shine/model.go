@@ -51,9 +51,14 @@ type Model struct {
 	mixtures mixtureIndex
 
 	popularity map[hin.ObjectID]float64
-	index      *namematch.Index
-	walker     *metapath.Walker
-	generic    *corpus.GenericModel
+	// prSeconds/prIterations record the most recent offline PageRank
+	// run (zero under PopularityUniform); published as gauges by
+	// SetMetrics and refreshed by Rebind.
+	prSeconds    float64
+	prIterations int
+	index        *namematch.Index
+	walker       *metapath.Walker
+	generic      *corpus.GenericModel
 	// metrics, when non-nil, instruments link and EM hot paths; see
 	// SetMetrics.
 	metrics *modelMetrics
@@ -82,24 +87,9 @@ func New(g *hin.Graph, entityType hin.TypeID, paths []metapath.Path, docs *corpu
 		}
 	}
 
-	var pop map[hin.ObjectID]float64
-	switch cfg.Popularity {
-	case PopularityUniform:
-		p, err := pagerank.UniformPopularity(g, entityType)
-		if err != nil {
-			return nil, err
-		}
-		pop = p
-	default:
-		res, err := pagerank.Compute(g, cfg.PageRank)
-		if err != nil {
-			return nil, fmt.Errorf("shine: computing popularity: %w", err)
-		}
-		p, err := pagerank.EntityPopularity(g, res.Scores, entityType)
-		if err != nil {
-			return nil, err
-		}
-		pop = p
+	pop, prSeconds, prIters, err := computePopularity(g, entityType, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	idx, err := namematch.BuildIndex(g, entityType)
@@ -112,20 +102,52 @@ func New(g *hin.Graph, entityType hin.TypeID, paths []metapath.Path, docs *corpu
 	}
 
 	m := &Model{
-		graph:      g,
-		entityType: entityType,
-		paths:      append([]metapath.Path(nil), paths...),
-		weights:    make([]float64, len(paths)),
-		cfg:        cfg,
-		popularity: pop,
-		index:      idx,
-		walker:     metapath.NewWalker(g, cfg.WalkCacheSize),
-		generic:    gen,
+		graph:        g,
+		entityType:   entityType,
+		paths:        append([]metapath.Path(nil), paths...),
+		weights:      make([]float64, len(paths)),
+		cfg:          cfg,
+		popularity:   pop,
+		prSeconds:    prSeconds,
+		prIterations: prIters,
+		index:        idx,
+		walker:       metapath.NewWalker(g, cfg.WalkCacheSize),
+		generic:      gen,
 	}
 	for i := range m.weights {
 		m.weights[i] = 1 / float64(len(paths))
 	}
 	return m, nil
+}
+
+// computePopularity runs the configured offline popularity model over
+// g: uniform (Formula 5), or whole-network PageRank normalised over
+// the entity set (Formulas 6–7). The PageRank kernel inherits
+// cfg.Workers when cfg.PageRank.Workers is unset, so `-workers`
+// bounds the whole offline pipeline, not just EM; any worker count
+// produces bit-identical scores. Returns the popularity map plus the
+// PageRank wall-clock seconds and iteration count (both zero in
+// uniform mode) for the shine_pagerank_* gauges.
+func computePopularity(g *hin.Graph, entityType hin.TypeID, cfg Config) (map[hin.ObjectID]float64, float64, int, error) {
+	if cfg.Popularity == PopularityUniform {
+		p, err := pagerank.UniformPopularity(g, entityType)
+		return p, 0, 0, err
+	}
+	prOpts := cfg.PageRank
+	if prOpts.Workers == 0 {
+		prOpts.Workers = cfg.Workers
+	}
+	start := time.Now()
+	res, err := pagerank.Compute(g, prOpts)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("shine: computing popularity: %w", err)
+	}
+	seconds := time.Since(start).Seconds()
+	p, err := pagerank.EntityPopularity(g, res.Scores, entityType)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return p, seconds, res.Iterations, nil
 }
 
 // Graph returns the model's network.
@@ -202,24 +224,9 @@ func (m *Model) Rebind(g *hin.Graph) error {
 				p, st, m.entityType)
 		}
 	}
-	var pop map[hin.ObjectID]float64
-	switch m.cfg.Popularity {
-	case PopularityUniform:
-		p, err := pagerank.UniformPopularity(g, m.entityType)
-		if err != nil {
-			return err
-		}
-		pop = p
-	default:
-		res, err := pagerank.Compute(g, m.cfg.PageRank)
-		if err != nil {
-			return fmt.Errorf("shine: recomputing popularity: %w", err)
-		}
-		p, err := pagerank.EntityPopularity(g, res.Scores, m.entityType)
-		if err != nil {
-			return err
-		}
-		pop = p
+	pop, prSeconds, prIters, err := computePopularity(g, m.entityType, m.cfg)
+	if err != nil {
+		return err
 	}
 	idx, err := namematch.BuildIndex(g, m.entityType)
 	if err != nil {
@@ -227,6 +234,8 @@ func (m *Model) Rebind(g *hin.Graph) error {
 	}
 	m.graph = g
 	m.popularity = pop
+	m.prSeconds, m.prIterations = prSeconds, prIters
+	m.metrics.observePageRank(prSeconds, prIters)
 	m.index = idx
 	m.walker = metapath.NewWalker(g, m.cfg.WalkCacheSize)
 	// Frozen mixtures embed walk distributions over the old graph's

@@ -1,8 +1,9 @@
 package sparse
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 )
@@ -37,7 +38,7 @@ func Freeze(v Vector) Dist {
 			idx = append(idx, i)
 		}
 	}
-	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	slices.Sort(idx)
 	val := make([]float64, len(idx))
 	for k, i := range idx {
 		val[k] = v[i]
@@ -159,16 +160,28 @@ func (d Dist) Top(n int) []Entry {
 	for k, i := range d.idx {
 		entries[k] = Entry{Index: i, Value: d.val[k]}
 	}
-	sort.Slice(entries, func(a, b int) bool {
-		if entries[a].Value != entries[b].Value {
-			return entries[a].Value > entries[b].Value
-		}
-		return entries[a].Index < entries[b].Index
-	})
+	slices.SortFunc(entries, compareTopEntries)
 	if len(entries) > n {
 		entries = entries[:n]
 	}
 	return entries
+}
+
+// compareTopEntries orders entries by descending value, ties broken
+// by ascending index — the shared selection rule of Vector.Top,
+// Dist.Top and Accum.TopDist.
+func compareTopEntries(a, b Entry) int {
+	switch {
+	case a.Value > b.Value:
+		return -1
+	case a.Value < b.Value:
+		return 1
+	case a.Index < b.Index:
+		return -1
+	case a.Index > b.Index:
+		return 1
+	}
+	return 0
 }
 
 // Indices returns a copy of the stored indices in ascending order.
@@ -353,7 +366,7 @@ func (a *Accum) Reset() {
 // in ascending index order, and frozen results list indices in CSR
 // order, independent of the scatter order that built them.
 func (a *Accum) sortTouched() {
-	sort.Slice(a.touched, func(x, y int) bool { return a.touched[x] < a.touched[y] })
+	slices.Sort(a.touched)
 }
 
 // Dist freezes the accumulated values into a new immutable Dist,
@@ -391,16 +404,11 @@ func (a *Accum) TopDist(n int) Dist {
 			entries = append(entries, Entry{Index: i, Value: x})
 		}
 	}
-	sort.Slice(entries, func(x, y int) bool {
-		if entries[x].Value != entries[y].Value {
-			return entries[x].Value > entries[y].Value
-		}
-		return entries[x].Index < entries[y].Index
-	})
+	slices.SortFunc(entries, compareTopEntries)
 	if len(entries) > n {
 		entries = entries[:n]
 	}
-	sort.Slice(entries, func(x, y int) bool { return entries[x].Index < entries[y].Index })
+	slices.SortFunc(entries, func(x, y Entry) int { return cmp.Compare(x.Index, y.Index) })
 	idx := make([]int32, len(entries))
 	val := make([]float64, len(entries))
 	for k, e := range entries {

@@ -9,7 +9,7 @@ package sparse
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -172,7 +172,7 @@ func (v Vector) Indices() []int32 {
 	for i := range v {
 		idx = append(idx, i)
 	}
-	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	slices.Sort(idx)
 	return idx
 }
 
@@ -184,12 +184,7 @@ func (v Vector) Top(n int) []Entry {
 	for i, x := range v {
 		entries = append(entries, Entry{Index: i, Value: x})
 	}
-	sort.Slice(entries, func(a, b int) bool {
-		if entries[a].Value != entries[b].Value {
-			return entries[a].Value > entries[b].Value
-		}
-		return entries[a].Index < entries[b].Index
-	})
+	slices.SortFunc(entries, compareTopEntries)
 	if len(entries) > n {
 		entries = entries[:n]
 	}

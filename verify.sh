@@ -7,6 +7,7 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 go test -race ./...
-# Smoke the serving-path benchmarks (one iteration each) so they
-# cannot rot between perf PRs; real numbers live in BENCH_link.json.
-go test -run=NONE -bench='Link' -benchtime=1x .
+# Smoke the serving-path and offline-pipeline benchmarks (one
+# iteration each) so they cannot rot between perf PRs; real numbers
+# live in BENCH_link.json and BENCH_offline.json.
+go test -run=NONE -bench='Link|PageRank|Build' -benchtime=1x .
