@@ -118,10 +118,14 @@ Commands:
          link each one, printing spans, entities and confidences.
   serve  -graph FILE -docs FILE [-model FILE] [-addr :8080] [-nil-prior F]
          [-metrics=true] [-pprof] [-drain 10s] [-workers N]
+         [-timeout D] [-max-inflight N] [-max-queue N]
          Serve the model over HTTP: /v1/link, /v1/annotate,
-         /v1/explain, /v1/entity, /v1/healthz, plus Prometheus
-         metrics at /metrics and optional /debug/pprof profiling.
-         SIGINT/SIGTERM drains in-flight requests before exiting.
+         /v1/explain, /v1/entity, /v1/healthz, /v1/readyz, plus
+         Prometheus metrics at /metrics and optional /debug/pprof
+         profiling. -timeout bounds each model-serving request;
+         -max-inflight sheds excess load with 429 once its wait
+         queue fills. SIGINT/SIGTERM drains in-flight requests
+         before exiting.
   bench  -exp NAME [-quick] [-csv DIR]
          Regenerate a paper experiment. Names: table2, table3, table4,
          table5, fig3, fig4, fig5, fig6, lambda, pruning, sgd,
@@ -627,6 +631,9 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", 10*time.Second, "connection drain deadline on SIGINT/SIGTERM")
 	workers := fs.Int("workers", 0, "startup offline-pipeline and training worker goroutines (0 = GOMAXPROCS)")
 	precompute := fs.Bool("precompute", false, "build the frozen entity-mixture index before accepting traffic")
+	timeout := fs.Duration("timeout", 0, "per-request deadline for model-serving endpoints (0 = none)")
+	maxInFlight := fs.Int("max-inflight", 0, "cap on concurrently executing model-serving requests; excess is queued then shed with 429 (0 = unlimited)")
+	maxQueued := fs.Int("max-queue", 0, "admission wait-queue depth when -max-inflight is set (0 = same as -max-inflight, negative = no queue)")
 	fs.Parse(args)
 
 	// One registry for the whole process, wired before learning so a
@@ -676,6 +683,9 @@ func cmdServe(args []string) error {
 		NoMetricsEndpoint: !*metricsOn,
 		Pprof:             *pprofOn,
 		Precompute:        *precompute,
+		RequestTimeout:    *timeout,
+		MaxInFlight:       *maxInFlight,
+		MaxQueued:         *maxQueued,
 	})
 	if err != nil {
 		return err

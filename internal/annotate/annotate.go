@@ -10,6 +10,7 @@
 package annotate
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -112,6 +113,14 @@ func stripSuffix(name string) string {
 // falls below MinPosterior are omitted. Annotations are returned in
 // text order.
 func (a *Annotator) Annotate(id, text string) ([]Annotation, error) {
+	return a.AnnotateContext(context.Background(), id, text)
+}
+
+// AnnotateContext is Annotate under a request context: cancellation
+// is checked before each detected mention and inside each link (see
+// Model.LinkContext), so a canceled request aborts after the current
+// mention rather than annotating the rest of the text.
+func (a *Annotator) AnnotateContext(ctx context.Context, id, text string) ([]Annotation, error) {
 	tokens := textproc.Tokenize(text)
 	matches := a.mentions.FindAll(tokens)
 	if len(matches) == 0 {
@@ -121,11 +130,14 @@ func (a *Annotator) Annotate(id, text string) ([]Annotation, error) {
 
 	var out []Annotation
 	for mi, match := range matches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := tokens[match.TokenStart].Start
 		end := tokens[match.TokenEnd-1].End
 		surface := text[start:end] // as written, punctuation included
 		doc := a.ing.Ingest(fmt.Sprintf("%s#%d", id, mi), surface, hin.NoObject, text)
-		res, err := a.model.Link(doc)
+		res, err := a.model.LinkContext(ctx, doc)
 		if err != nil {
 			// Surface forms come from entity names, so candidates
 			// always exist; any error is a real failure.

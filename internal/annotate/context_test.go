@@ -1,0 +1,55 @@
+package annotate
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"shine/internal/corpus"
+)
+
+// TestAnnotateContextPreCanceled: a canceled request aborts before
+// the first detected mention is linked.
+func TestAnnotateContextPreCanceled(t *testing.T) {
+	d, _, _, m := annotateFixture(t)
+	a, err := New(m, corpus.DBLPIngestConfig(d), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	anns, err := a.AnnotateContext(ctx, "doc", "Wei Wang presented data at SIGMOD with Richard R. Muntz")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AnnotateContext(canceled) err = %v, want context.Canceled", err)
+	}
+	if anns != nil {
+		t.Errorf("canceled annotate returned %d annotations, want none", len(anns))
+	}
+}
+
+// TestAnnotateContextBackgroundMatchesAnnotate: the context variant
+// is a pure pass-through under a live context.
+func TestAnnotateContextBackgroundMatchesAnnotate(t *testing.T) {
+	d, _, _, m := annotateFixture(t)
+	a, err := New(m, corpus.DBLPIngestConfig(d), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := "Wei Wang presented data at SIGMOD with Richard R. Muntz"
+	plain, err := a.Annotate("doc", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := a.AnnotateContext(context.Background(), "doc", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(ctxed) {
+		t.Fatalf("annotation count: %d vs %d", len(plain), len(ctxed))
+	}
+	for i := range plain {
+		if plain[i] != ctxed[i] {
+			t.Errorf("annotation %d: %+v vs %+v", i, plain[i], ctxed[i])
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"shine/internal/hin"
@@ -176,7 +177,12 @@ func Export(w io.Writer, d *hin.DBLPSchema, g *hin.Graph) error {
 			pub.Venue = g.Name(vs[0])
 		}
 		if ys := g.Neighbors(d.PublishedIn, paper); len(ys) > 0 {
-			fmt.Sscanf(g.Name(ys[0]), "%d", &pub.Year)
+			year, err := strconv.Atoi(g.Name(ys[0]))
+			if err != nil {
+				return fmt.Errorf("bibload: exporting %q: year object %q is not an integer: %w",
+					pub.Title, g.Name(ys[0]), err)
+			}
+			pub.Year = year
 		}
 		if err := enc.Encode(pub); err != nil {
 			return fmt.Errorf("bibload: exporting: %w", err)

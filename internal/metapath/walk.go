@@ -2,8 +2,10 @@ package metapath
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"shine/internal/hin"
 	"shine/internal/sparse"
@@ -45,6 +47,14 @@ type Walker struct {
 	// shards is nil when caching is disabled. Small caches use a
 	// single shard, which preserves exact global LRU semantics.
 	shards []*walkShard
+	// walks, hops and canceled instrument the hop kernel: full walks
+	// computed to completion, relation hops expanded, and walks
+	// aborted by context cancellation. Cache hits touch none of them,
+	// so a canceled request that did no work is distinguishable from
+	// one served from cache.
+	walks    atomic.Uint64
+	hops     atomic.Uint64
+	canceled atomic.Uint64
 }
 
 // walkShard is one stripe of the walk cache: an exact LRU with its
@@ -136,7 +146,16 @@ func (w *Walker) shardFor(key walkKey) *walkShard {
 // other caller; Thaw it if a mutable copy is needed. Walking the
 // empty path returns the unit distribution at e.
 func (w *Walker) Walk(e hin.ObjectID, p Path) (sparse.Dist, error) {
-	return w.WalkPruned(e, p, 0)
+	return w.WalkPrunedContext(context.Background(), e, p, 0)
+}
+
+// WalkContext is Walk under a request context: cancellation is
+// checked before the walk starts and between relation hops, so a
+// client that disconnects mid-walk stops paying for the remaining
+// hops instead of completing the full distribution. A canceled walk
+// returns ctx.Err() and stores nothing in the cache.
+func (w *Walker) WalkContext(ctx context.Context, e hin.ObjectID, p Path) (sparse.Dist, error) {
+	return w.WalkPrunedContext(ctx, e, p, 0)
 }
 
 // WalkPruned is Walk with support pruning: after each relation hop,
@@ -148,6 +167,17 @@ func (w *Walker) Walk(e hin.ObjectID, p Path) (sparse.Dist, error) {
 // intermediate frontiers. Pruned and exact walks are cached under
 // distinct keys.
 func (w *Walker) WalkPruned(e hin.ObjectID, p Path, maxSupport int) (sparse.Dist, error) {
+	return w.WalkPrunedContext(context.Background(), e, p, maxSupport)
+}
+
+// WalkPrunedContext is WalkPruned under a request context (see
+// WalkContext). An already-canceled context returns ctx.Err() before
+// any hop is expanded — not even the cache is consulted.
+func (w *Walker) WalkPrunedContext(ctx context.Context, e hin.ObjectID, p Path, maxSupport int) (sparse.Dist, error) {
+	if err := ctx.Err(); err != nil {
+		w.canceled.Add(1)
+		return sparse.Dist{}, err
+	}
 	if err := w.checkWalk(e, p, maxSupport); err != nil {
 		return sparse.Dist{}, err
 	}
@@ -155,7 +185,10 @@ func (w *Walker) WalkPruned(e hin.ObjectID, p Path, maxSupport int) (sparse.Dist
 	if d, ok := w.lookup(key); ok {
 		return d, nil
 	}
-	cur := w.computeWalk(e, p, maxSupport)
+	cur, err := w.computeWalk(ctx, e, p, maxSupport)
+	if err != nil {
+		return sparse.Dist{}, err
+	}
 	w.store(key, cur)
 	return cur, nil
 }
@@ -182,6 +215,9 @@ func (w *Walker) checkWalk(e hin.ObjectID, p Path, maxSupport int) error {
 // the current frontier — already in ascending index order, because
 // frozen Dists store indices sorted — into a pooled dense
 // accumulator, then freezes the touched entries back into a Dist.
+// Cancellation is checked once per relation hop (before expanding
+// it), the granularity at which a walk's cost accrues; a canceled
+// walk returns ctx.Err() and its partial frontier is discarded.
 //
 // Determinism: float addition is not associative, so the result
 // depends on the order mass is scattered. The kernel always visits
@@ -190,15 +226,20 @@ func (w *Walker) checkWalk(e hin.ObjectID, p Path, maxSupport int) error {
 // kernel used after sorting its frontier — so walks are bit-for-bit
 // reproducible across runs, worker counts, and both kernel
 // implementations (ReferenceWalk cross-checks this in tests).
-func (w *Walker) computeWalk(e hin.ObjectID, p Path, maxSupport int) sparse.Dist {
+func (w *Walker) computeWalk(ctx context.Context, e hin.ObjectID, p Path, maxSupport int) (sparse.Dist, error) {
 	cur := sparse.UnitDist(int32(e))
 	rels := p.Relations()
 	if len(rels) == 0 {
-		return cur
+		w.walks.Add(1)
+		return cur, nil
 	}
 	acc := w.accums.Get()
 	defer w.accums.Put(acc)
 	for _, rel := range rels {
+		if err := ctx.Err(); err != nil {
+			w.canceled.Add(1)
+			return sparse.Dist{}, err
+		}
 		for k := 0; k < cur.Len(); k++ {
 			i, mass := cur.At(k)
 			v := hin.ObjectID(i)
@@ -217,8 +258,10 @@ func (w *Walker) computeWalk(e hin.ObjectID, p Path, maxSupport int) sparse.Dist
 			cur = acc.Dist()
 		}
 		acc.Reset()
+		w.hops.Add(1)
 	}
-	return cur
+	w.walks.Add(1)
+	return cur, nil
 }
 
 // ReferenceWalk computes Pe(v|p) with the original map-backed kernel,
@@ -294,6 +337,14 @@ func (w *Walker) WalkMixturePruned(e hin.ObjectID, paths []Path, weights []float
 // as the map-backed mixture and as Model.logJoint's per-object path
 // loop — so all three agree bit-for-bit.
 func (w *Walker) WalkMixtureDist(e hin.ObjectID, paths []Path, weights []float64, maxSupport int) (sparse.Dist, error) {
+	return w.WalkMixtureDistContext(context.Background(), e, paths, weights, maxSupport)
+}
+
+// WalkMixtureDistContext is WalkMixtureDist under a request context:
+// each constituent path walk checks cancellation between hops, so a
+// canceled request aborts inside the first unfinished walk rather
+// than after the full |paths|-walk mixture.
+func (w *Walker) WalkMixtureDistContext(ctx context.Context, e hin.ObjectID, paths []Path, weights []float64, maxSupport int) (sparse.Dist, error) {
 	if len(paths) != len(weights) {
 		return sparse.Dist{}, fmt.Errorf("metapath: %d paths with %d weights", len(paths), len(weights))
 	}
@@ -303,7 +354,7 @@ func (w *Walker) WalkMixtureDist(e hin.ObjectID, paths []Path, weights []float64
 		if weights[k] == 0 {
 			continue
 		}
-		d, err := w.WalkPruned(e, p, maxSupport)
+		d, err := w.WalkPrunedContext(ctx, e, p, maxSupport)
 		if err != nil {
 			return sparse.Dist{}, err
 		}
@@ -397,6 +448,26 @@ func (w *Walker) ShardStats() []CacheStats {
 	return out
 }
 
+// WalkStats reports the hop-kernel counters: full walks computed to
+// completion, relation hops expanded, and walks aborted by context
+// cancellation. Cache hits count in none of them.
+type WalkStats struct {
+	Completed uint64
+	Hops      uint64
+	Canceled  uint64
+}
+
+// WalkStats returns the walker's hop-kernel counters. The three
+// loads are independent atomics, so the snapshot is approximate
+// under concurrent traffic (exact when quiescent).
+func (w *Walker) WalkStats() WalkStats {
+	return WalkStats{
+		Completed: w.walks.Load(),
+		Hops:      w.hops.Load(),
+		Canceled:  w.canceled.Load(),
+	}
+}
+
 // Collect emits the walker's cache counters. The signature matches
 // the obs.Collector interface structurally, so an obs.Registry can
 // scrape a Walker without this package importing obs (which would be
@@ -404,6 +475,10 @@ func (w *Walker) ShardStats() []CacheStats {
 // one labelled series per shard, so a dashboard can spot skewed
 // stripes.
 func (w *Walker) Collect(emit func(name string, value float64)) {
+	ws := w.WalkStats()
+	emit("shine_walker_walks_total", float64(ws.Completed))
+	emit("shine_walker_walk_hops_total", float64(ws.Hops))
+	emit("shine_walker_walks_canceled_total", float64(ws.Canceled))
 	st := w.CacheStats()
 	emit("shine_walker_cache_entries", float64(st.Entries))
 	emit("shine_walker_cache_hits_total", float64(st.Hits))

@@ -36,6 +36,7 @@ func TestMethodEnforcement(t *testing.T) {
 		{"/v1/candidates", http.MethodGet},
 		{"/v1/entity", http.MethodGet},
 		{"/v1/healthz", http.MethodGet},
+		{"/v1/readyz", http.MethodGet},
 		{"/metrics", http.MethodGet},
 	}
 	methods := []string{

@@ -1,0 +1,42 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMetricsLifecycleSeries: the request-lifecycle series all appear
+// in the Prometheus exposition from the first scrape, whether or not
+// the corresponding option is enabled — dashboards and alerts must
+// not silently reference a series that only exists after the first
+// panic or shed.
+func TestMetricsLifecycleSeries(t *testing.T) {
+	s, _ := testServer(t, Options{})
+	// One link so the walker series have been collected at least once.
+	postJSON(t, s, "/v1/link",
+		`{"mention": "Wei Wang", "text": "Wei Wang works on data at SIGMOD"}`)
+	w := do(s, http.MethodGet, "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, series := range []string{
+		MetricPanics,
+		MetricRequestsShed,
+		MetricRequestsCanceled,
+		MetricRequestsInFlight,
+		MetricRequestsQueued,
+		MetricReady,
+		"shine_walker_walks_total",
+		"shine_walker_walk_hops_total",
+		"shine_walker_walks_canceled_total",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("exposition missing %s", series)
+		}
+	}
+	if !strings.Contains(body, MetricReady+" 1") {
+		t.Errorf("%s should read 1 on a fresh server", MetricReady)
+	}
+}

@@ -11,6 +11,7 @@
 //	GET  /v1/candidates?mention=NAME[&loose=1]                  -> candidate entities
 //	GET  /v1/entity?id=N                                        -> entity card
 //	GET  /v1/healthz                                            -> liveness
+//	GET  /v1/readyz                                             -> readiness
 //	GET  /metrics                                               -> Prometheus exposition
 //	GET  /debug/pprof/*                                         -> profiling (opt-in)
 //
@@ -19,6 +20,13 @@
 // (counts by status class, in-flight gauge, latency histograms) into
 // an obs.Registry, and the model's own link/EM/walker-cache metrics
 // land in the same registry — one scrape shows the whole system.
+//
+// The /v1 model-serving endpoints run under a request lifecycle (see
+// lifecycle.go): the client's context is threaded into the model so a
+// disconnect or deadline aborts meta-path walk work mid-flight,
+// Options.RequestTimeout bounds every request, Options.MaxInFlight
+// sheds excess load with 429, and a panic in any handler becomes a
+// 500 instead of a dead process.
 package server
 
 import (
@@ -28,6 +36,8 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"shine/internal/annotate"
@@ -56,6 +66,20 @@ type Server struct {
 	logger *log.Logger
 	// metrics holds every instrument the server and model record.
 	metrics *obs.Registry
+	// lifecycle holds the request-lifecycle instruments (panics,
+	// shedding, cancellations); always non-nil.
+	lifecycle *lifecycleMetrics
+	// requestTimeout, when positive, bounds each model-serving
+	// request.
+	requestTimeout time.Duration
+	// limiter is the admission semaphore; nil when MaxInFlight is
+	// unset.
+	limiter *limiter
+	// reqSeq issues unique per-request document ids, so concurrent
+	// requests never collide in anything keyed by document.
+	reqSeq atomic.Uint64
+	// ready gates GET /v1/readyz; see SetReady.
+	ready atomic.Bool
 }
 
 // Options configures the server.
@@ -90,6 +114,20 @@ type Options struct {
 	// meta-path walk latency. Adds startup time proportional to the
 	// entity count; off by default.
 	Precompute bool
+	// RequestTimeout, when positive, is the per-request deadline for
+	// the /v1 model-serving endpoints, layered onto whatever deadline
+	// the client's own context carries. A request that exceeds it is
+	// aborted mid-walk and answered 503 with the timeout in the body.
+	RequestTimeout time.Duration
+	// MaxInFlight, when positive, caps concurrently executing
+	// model-serving requests. Excess requests wait in a bounded queue
+	// (MaxQueued deep); beyond that they are shed with 429 and a
+	// Retry-After header. 0 means unlimited.
+	MaxInFlight int
+	// MaxQueued bounds the admission wait queue when MaxInFlight is
+	// set; 0 defaults to MaxInFlight. Negative disables queueing
+	// entirely (immediate 429 once the limit is reached).
+	MaxQueued int
 }
 
 // New builds a server over a (typically trained) model.
@@ -120,20 +158,35 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 	if err != nil {
 		return nil, fmt.Errorf("server: indexing entity names: %w", err)
 	}
+	if opts.RequestTimeout < 0 {
+		return nil, fmt.Errorf("server: negative request timeout %v", opts.RequestTimeout)
+	}
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		model:        m,
-		ingester:     ing,
-		annotator:    ann,
-		mux:          http.NewServeMux(),
-		looseIndex:   idx,
-		maxBodyBytes: opts.MaxBodyBytes,
-		nilPrior:     opts.NILPrior,
-		logger:       opts.Logger,
-		metrics:      reg,
+		model:          m,
+		ingester:       ing,
+		annotator:      ann,
+		mux:            http.NewServeMux(),
+		looseIndex:     idx,
+		maxBodyBytes:   opts.MaxBodyBytes,
+		nilPrior:       opts.NILPrior,
+		logger:         opts.Logger,
+		metrics:        reg,
+		lifecycle:      newLifecycleMetrics(reg),
+		requestTimeout: opts.RequestTimeout,
+	}
+	if opts.MaxInFlight > 0 {
+		queued := opts.MaxQueued
+		switch {
+		case queued == 0:
+			queued = opts.MaxInFlight
+		case queued < 0:
+			queued = 0
+		}
+		s.limiter = newLimiter(opts.MaxInFlight, queued, s.lifecycle)
 	}
 	// Instrument the model into the same registry (idempotent if the
 	// caller already did); no requests are flowing yet, so this cannot
@@ -144,12 +197,16 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 			return nil, fmt.Errorf("server: precomputing mixtures: %w", err)
 		}
 	}
-	s.route(http.MethodPost, "/v1/link", s.handleLink)
-	s.route(http.MethodPost, "/v1/annotate", s.handleAnnotate)
-	s.route(http.MethodPost, "/v1/explain", s.handleExplain)
-	s.route(http.MethodGet, "/v1/candidates", s.handleCandidates)
-	s.route(http.MethodGet, "/v1/entity", s.handleEntity)
+	// Model-serving endpoints run under the request lifecycle
+	// (deadline + admission control); ops endpoints do not — a load
+	// balancer must still reach readiness while requests are shedding.
+	s.route(http.MethodPost, "/v1/link", s.guard(s.handleLink))
+	s.route(http.MethodPost, "/v1/annotate", s.guard(s.handleAnnotate))
+	s.route(http.MethodPost, "/v1/explain", s.guard(s.handleExplain))
+	s.route(http.MethodGet, "/v1/candidates", s.guard(s.handleCandidates))
+	s.route(http.MethodGet, "/v1/entity", s.guard(s.handleEntity))
 	s.route(http.MethodGet, "/v1/healthz", s.handleHealthz)
+	s.route(http.MethodGet, "/v1/readyz", s.handleReadyz)
 	if !opts.NoMetricsEndpoint {
 		s.route(http.MethodGet, "/metrics", reg.Handler().ServeHTTP)
 	}
@@ -162,6 +219,10 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	// Construction (including any eager precompute above) is done;
+	// the server can take traffic. Deployments flip this off around
+	// Rebind/SetGeneric maintenance via SetReady.
+	s.SetReady(true)
 	return s, nil
 }
 
@@ -184,28 +245,45 @@ func (s *Server) route(method, path string, h http.HandlerFunc) {
 	s.mux.Handle(path, s.metrics.Middleware(path, http.HandlerFunc(enforced)))
 }
 
-// ServeHTTP implements http.Handler, logging one line per request
-// when a logger is configured.
+// ServeHTTP implements http.Handler. Every request — routed or not —
+// runs under the panic-recovery middleware, and one line is logged
+// per request when a logger is configured.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.logger == nil {
-		s.mux.ServeHTTP(w, r)
-		return
-	}
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(sw, r)
-	s.logger.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	s.serveRecovered(sw, r)
+	if s.logger != nil {
+		s.logger.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	}
 }
 
-// statusWriter records the response status for logging.
+// serveRecovered dispatches to the mux with panic recovery installed,
+// so the request log line above still fires for a panicked request.
+func (s *Server) serveRecovered(sw *statusWriter, r *http.Request) {
+	defer s.recoverPanic(sw, r)
+	s.mux.ServeHTTP(sw, r)
+}
+
+// statusWriter records the response status for logging and whether
+// the response has started — the fact panic recovery needs to decide
+// between sending a 500 and staying silent.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
+	if !w.wrote {
+		w.wrote = true
+		w.status = code
+	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // linkRequest is the body of /v1/link and /v1/explain.
@@ -239,16 +317,21 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "mention is required")
 		return
 	}
-	doc := s.ingester.Ingest("request", req.Mention, hin.NoObject, req.Text)
+	doc := s.ingester.Ingest(s.nextRequestID(), req.Mention, hin.NoObject, req.Text)
 
+	ctx := r.Context()
 	var res shine.Result
 	var err error
 	if s.nilPrior > 0 {
-		res, err = s.model.LinkNIL(doc, s.nilPrior)
+		res, err = s.model.LinkNILContext(ctx, doc, s.nilPrior)
 	} else {
-		res, err = s.model.Link(doc)
+		res, err = s.model.LinkContext(ctx, doc)
 	}
 	if err != nil {
+		if isCtxError(err) {
+			s.respondCtxError(w, err)
+			return
+		}
 		if errors.Is(err, shine.ErrNoCandidates) {
 			httpError(w, http.StatusNotFound, err.Error())
 			return
@@ -264,7 +347,7 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 			Posterior: cs.Posterior,
 		})
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // annotateRequest is the body of /v1/annotate.
@@ -291,8 +374,12 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "text is required")
 		return
 	}
-	anns, err := s.annotator.Annotate("request", req.Text)
+	anns, err := s.annotator.AnnotateContext(r.Context(), s.nextRequestID(), req.Text)
 	if err != nil {
+		if isCtxError(err) {
+			s.respondCtxError(w, err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -304,7 +391,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 			Posterior: an.Posterior, Candidates: an.Candidates,
 		})
 	}
-	writeJSON(w, struct {
+	s.writeJSON(w, struct {
 		Annotations []annotationJSON `json:"annotations"`
 	}{out})
 }
@@ -335,9 +422,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "mention is required")
 		return
 	}
-	doc := s.ingester.Ingest("request", req.Mention, hin.NoObject, req.Text)
-	ex, err := s.model.Explain(doc)
+	doc := s.ingester.Ingest(s.nextRequestID(), req.Mention, hin.NoObject, req.Text)
+	ex, err := s.model.ExplainContext(r.Context(), doc)
 	if err != nil {
+		if isCtxError(err) {
+			s.respondCtxError(w, err)
+			return
+		}
 		if errors.Is(err, shine.ErrNoCandidates) {
 			httpError(w, http.StatusNotFound, err.Error())
 			return
@@ -357,7 +448,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			Name: oc.Name, Type: oc.Type, Count: oc.Count, LogOdds: oc.LogOdds,
 		})
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // candidatesResponse is the body of /v1/candidates.
@@ -390,7 +481,7 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 			Popularity: s.model.Popularity(e),
 		})
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // entityResponse is the body of /v1/entity.
@@ -402,18 +493,21 @@ type entityResponse struct {
 }
 
 func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
-	var id int32
-	if _, err := fmt.Sscanf(r.URL.Query().Get("id"), "%d", &id); err != nil {
-		httpError(w, http.StatusBadRequest, "id must be an integer")
+	// strconv, not Sscanf: Sscanf("%d") accepts trailing garbage
+	// ("12abc") and silently wraps out-of-range values.
+	id64, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "id must be a 32-bit integer")
 		return
 	}
+	id := int32(id64)
 	g := s.model.Graph()
 	if id < 0 || int(id) >= g.NumObjects() {
 		httpError(w, http.StatusNotFound, "no such object")
 		return
 	}
 	obj := hin.ObjectID(id)
-	writeJSON(w, entityResponse{
+	s.writeJSON(w, entityResponse{
 		Entity:     id,
 		Name:       g.Name(obj),
 		Type:       g.Schema().Type(g.TypeOf(obj)).Name,
@@ -422,7 +516,7 @@ func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, struct {
+	s.writeJSON(w, struct {
 		Status  string `json:"status"`
 		Objects int    `json:"objects"`
 	}{"ok", s.model.Graph().NumObjects()})
@@ -430,13 +524,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // ---------------------------------------------------------------- helpers
 
+// nextRequestID issues a process-unique document id for one request,
+// so concurrent requests never share an id in anything keyed by
+// document (caches, logs, annotation ids).
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+}
+
 // readJSON decodes a POST body, writing the error response itself on
-// failure. Method enforcement happens in route, before any handler
-// runs.
+// failure: 413 when the body exceeds MaxBodyBytes, 400 for malformed
+// JSON. Method enforcement happens in route, before any handler runs.
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, into interface{}) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+			return false
+		}
 		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return false
 	}
@@ -459,12 +566,18 @@ func (s *Server) entityName(e hin.ObjectID) string {
 	return s.model.Graph().Name(e)
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		// Headers are out; nothing more to do than log-by-status.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	writeBody(w, v, s.logger)
+}
+
+// writeBody encodes v after headers are (implicitly) sent. An encode
+// failure at this point cannot change the status line — http.Error
+// here would corrupt the already-started response — so it is logged
+// instead.
+func writeBody(w http.ResponseWriter, v interface{}, logger *log.Logger) {
+	if err := json.NewEncoder(w).Encode(v); err != nil && logger != nil {
+		logger.Printf("encoding response body: %v", err)
 	}
 }
 

@@ -18,6 +18,18 @@ import (
 // testServer builds a server over the two-Wangs scenario.
 func testServer(t testing.TB, opts Options) (*Server, map[string]hin.ObjectID) {
 	t.Helper()
+	m, cfg, ids := testModel(t)
+	s, err := New(m, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ids
+}
+
+// testModel builds the two-Wangs model and ingestion config without a
+// server, for tests that exercise New's option validation directly.
+func testModel(t testing.TB) (*shine.Model, corpus.IngestConfig, map[string]hin.ObjectID) {
+	t.Helper()
 	d := hin.NewDBLPSchema()
 	b := hin.NewBuilder(d.Schema)
 	ids := map[string]hin.ObjectID{
@@ -51,11 +63,7 @@ func testServer(t testing.TB, opts Options) (*Server, map[string]hin.ObjectID) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(m, corpus.DBLPIngestConfig(d), opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s, ids
+	return m, corpus.DBLPIngestConfig(d), ids
 }
 
 func postJSON(t testing.TB, s *Server, path, body string) *httptest.ResponseRecorder {
@@ -227,8 +235,12 @@ func TestHealthz(t *testing.T) {
 func TestBodyLimit(t *testing.T) {
 	s, _ := testServer(t, Options{MaxBodyBytes: 64})
 	big := `{"mention": "Wei Wang", "text": "` + strings.Repeat("x", 1000) + `"}`
-	if w := postJSON(t, s, "/v1/link", big); w.Code != http.StatusBadRequest {
-		t.Errorf("oversized body: status %d", w.Code)
+	w := postJSON(t, s, "/v1/link", big)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "64") {
+		t.Errorf("413 body should name the limit: %s", w.Body.String())
 	}
 }
 

@@ -1,0 +1,83 @@
+package shine
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestLinkContextPreCanceled: the acceptance contract of the request
+// lifecycle — a Link under an already-canceled context returns
+// ctx.Err() without completing a single full meta-path walk.
+func TestLinkContextPreCanceled(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	before := m.walker.WalkStats()
+	if before.Completed != 0 {
+		t.Fatalf("model construction ran %d walks; test assumes 0", before.Completed)
+	}
+	_, err := m.LinkContext(ctx, f.docA)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("LinkContext(canceled) err = %v, want context.Canceled", err)
+	}
+	after := m.walker.WalkStats()
+	if after.Completed != 0 {
+		t.Errorf("canceled LinkContext completed %d walks, want 0", after.Completed)
+	}
+	if after.Hops != 0 {
+		t.Errorf("canceled LinkContext expanded %d hops, want 0", after.Hops)
+	}
+}
+
+func TestLinkNILContextPreCanceled(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.LinkNILContext(ctx, f.docA, 0.1); !errors.Is(err, context.Canceled) {
+		t.Errorf("LinkNILContext(canceled) err = %v, want context.Canceled", err)
+	}
+	if st := m.walker.WalkStats(); st.Completed != 0 {
+		t.Errorf("canceled LinkNILContext completed %d walks, want 0", st.Completed)
+	}
+}
+
+func TestExplainContextPreCanceled(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.ExplainContext(ctx, f.docA); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExplainContext(canceled) err = %v, want context.Canceled", err)
+	}
+}
+
+// TestLinkContextBackgroundMatchesLink: threading context.Background
+// through the serving path is a pure pass-through — identical entity,
+// identical posteriors, bit for bit.
+func TestLinkContextBackgroundMatchesLink(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, nil)
+	plain, err := m.Link(f.docA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := m.LinkContext(context.Background(), f.docA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Entity != ctxed.Entity {
+		t.Fatalf("entity: %d vs %d", plain.Entity, ctxed.Entity)
+	}
+	if len(plain.Candidates) != len(ctxed.Candidates) {
+		t.Fatalf("candidate count: %d vs %d", len(plain.Candidates), len(ctxed.Candidates))
+	}
+	for i := range plain.Candidates {
+		if plain.Candidates[i] != ctxed.Candidates[i] {
+			t.Errorf("candidate %d: %+v vs %+v", i, plain.Candidates[i], ctxed.Candidates[i])
+		}
+	}
+}

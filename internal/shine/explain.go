@@ -1,6 +1,7 @@
 package shine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -68,7 +69,7 @@ func (m *Model) ExplainPaths(doc *corpus.Document) ([]PathImportance, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("%w: %q", ErrNoCandidates, doc.Mention)
 	}
-	md, err := m.prepareMention(doc, cands)
+	md, err := m.prepareMention(context.Background(), doc, cands)
 	if err != nil {
 		return nil, err
 	}
@@ -120,11 +121,18 @@ func (m *Model) ExplainPaths(doc *corpus.Document) ([]PathImportance, error) {
 // Explain links the document and decomposes the decision. It is the
 // production answer to "why did this mention link there?".
 func (m *Model) Explain(doc *corpus.Document) (Explanation, error) {
+	return m.ExplainContext(context.Background(), doc)
+}
+
+// ExplainContext is Explain under a request context, with the same
+// cancellation points as LinkContext: between candidates and between
+// walk hops.
+func (m *Model) ExplainContext(ctx context.Context, doc *corpus.Document) (Explanation, error) {
 	cands := m.index.Candidates(doc.Mention)
 	if len(cands) == 0 {
 		return Explanation{}, fmt.Errorf("%w: %q", ErrNoCandidates, doc.Mention)
 	}
-	md, err := m.prepareMention(doc, cands)
+	md, err := m.prepareMention(ctx, doc, cands)
 	if err != nil {
 		return Explanation{}, err
 	}

@@ -1,6 +1,7 @@
 package shine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -138,13 +139,14 @@ func (m *Model) snapshotWeightsVer() ([]float64, uint64) {
 
 // mixtureFor returns candidate e's frozen mixture under the given
 // weight snapshot, building and (version permitting) caching it on
-// miss.
-func (m *Model) mixtureFor(e hin.ObjectID, w []float64, ver uint64) (sparse.Dist, error) {
+// miss. A canceled context aborts the build mid-walk; the partial
+// mixture is never stored.
+func (m *Model) mixtureFor(ctx context.Context, e hin.ObjectID, w []float64, ver uint64) (sparse.Dist, error) {
 	mi := &m.mixtures
 	if d, ok := mi.lookup(e, ver); ok {
 		return d, nil
 	}
-	d, err := m.walker.WalkMixtureDist(e, m.paths, w, m.cfg.WalkPruning)
+	d, err := m.walker.WalkMixtureDistContext(ctx, e, m.paths, w, m.cfg.WalkPruning)
 	if err != nil {
 		return sparse.Dist{}, err
 	}
@@ -158,7 +160,7 @@ func (m *Model) mixtureFor(e hin.ObjectID, w []float64, ver uint64) (sparse.Dist
 // meta-paths once, not N times.
 func (m *Model) entityMixture(e hin.ObjectID) (sparse.Dist, error) {
 	w, ver := m.snapshotWeightsVer()
-	return m.mixtureFor(e, w, ver)
+	return m.mixtureFor(context.Background(), e, w, ver)
 }
 
 // mentionMixtures is the frozen-path scoring state for one mention:
@@ -179,7 +181,11 @@ type mentionMixtures struct {
 // candidate and contracts them against the document's object bag.
 // Document.Objects is sorted by ascending object ID, so each
 // candidate costs one linear merge against its frozen array.
-func (m *Model) prepareMentionMixtures(doc *corpus.Document, cands []hin.ObjectID, w []float64, ver uint64) (*mentionMixtures, error) {
+// Cancellation is checked before each candidate (and, on a cold
+// mixture index, between walk hops inside mixtureFor), so a canceled
+// request aborts after the current candidate rather than scoring the
+// whole set.
+func (m *Model) prepareMentionMixtures(ctx context.Context, doc *corpus.Document, cands []hin.ObjectID, w []float64, ver uint64) (*mentionMixtures, error) {
 	nObj := len(doc.Objects)
 	mx := &mentionMixtures{
 		objs:    make([]int32, nObj),
@@ -194,7 +200,10 @@ func (m *Model) prepareMentionMixtures(doc *corpus.Document, cands []hin.ObjectI
 	}
 	rows := make([]float64, len(cands)*nObj)
 	for ci, e := range cands {
-		d, err := m.mixtureFor(e, w, ver)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		d, err := m.mixtureFor(ctx, e, w, ver)
 		if err != nil {
 			return nil, fmt.Errorf("shine: mixing walks for entity %d: %w", e, err)
 		}

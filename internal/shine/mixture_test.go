@@ -1,6 +1,7 @@
 package shine
 
 import (
+	"context"
 	"testing"
 
 	"shine/internal/hin"
@@ -26,7 +27,7 @@ func TestFrozenLinkMatchesLogJoint(t *testing.T) {
 			t.Fatalf("Link(%s): %v", doc.ID, err)
 		}
 		cands := m.Candidates(doc.Mention)
-		md, err := m.prepareMention(doc, cands)
+		md, err := m.prepareMention(context.Background(), doc, cands)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func TestMixtureInvalidationOnSetWeights(t *testing.T) {
 		t.Fatal(err)
 	}
 	cands := m.Candidates(f.docA.Mention)
-	md, err := m.prepareMention(f.docA, cands)
+	md, err := m.prepareMention(context.Background(), f.docA, cands)
 	if err != nil {
 		t.Fatal(err)
 	}

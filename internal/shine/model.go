@@ -1,6 +1,7 @@
 package shine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -318,23 +319,34 @@ type Result struct {
 // Link resolves the document's mention to its most likely entity
 // (Problem 1: argmax_e P(e|m, d)).
 func (m *Model) Link(doc *corpus.Document) (Result, error) {
+	return m.LinkContext(context.Background(), doc)
+}
+
+// LinkContext is Link under a request context. Cancellation is
+// checked between candidates and — inside the walker — between
+// meta-path hops, so a client that disconnects or times out stops
+// paying for the remaining walk work instead of completing it. A
+// canceled link returns an error satisfying errors.Is(err, ctx.Err())
+// and leaves no partial state behind (unfinished walks and mixtures
+// are discarded, not cached).
+func (m *Model) LinkContext(ctx context.Context, doc *corpus.Document) (Result, error) {
 	mm := m.metrics
 	var start time.Time
 	if mm != nil {
 		start = time.Now()
 	}
-	res, err := m.link(doc)
+	res, err := m.link(ctx, doc)
 	mm.observeLink(start, res, err)
 	return res, err
 }
 
-func (m *Model) link(doc *corpus.Document) (Result, error) {
+func (m *Model) link(ctx context.Context, doc *corpus.Document) (Result, error) {
 	cands := m.index.Candidates(doc.Mention)
 	if len(cands) == 0 {
 		return Result{Entity: hin.NoObject}, fmt.Errorf("%w: %q", ErrNoCandidates, doc.Mention)
 	}
 	w, ver := m.snapshotWeightsVer()
-	mx, err := m.prepareMentionMixtures(doc, cands, w, ver)
+	mx, err := m.prepareMentionMixtures(ctx, doc, cands, w, ver)
 	if err != nil {
 		return Result{Entity: hin.NoObject}, err
 	}

@@ -1,6 +1,7 @@
 package shine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -48,17 +49,24 @@ const NILPrior = 0.05
 // Unlike Link, a mention whose surface form matches no entity at all
 // is not an error here: it is a NIL prediction with posterior 1.
 func (m *Model) LinkNIL(doc *corpus.Document, nilPrior float64) (Result, error) {
+	return m.LinkNILContext(context.Background(), doc, nilPrior)
+}
+
+// LinkNILContext is LinkNIL under a request context, with the same
+// cancellation points as LinkContext: between candidates and between
+// walk hops.
+func (m *Model) LinkNILContext(ctx context.Context, doc *corpus.Document, nilPrior float64) (Result, error) {
 	mm := m.metrics
 	var start time.Time
 	if mm != nil {
 		start = time.Now()
 	}
-	res, err := m.linkNIL(doc, nilPrior)
+	res, err := m.linkNIL(ctx, doc, nilPrior)
 	mm.observeLink(start, res, err)
 	return res, err
 }
 
-func (m *Model) linkNIL(doc *corpus.Document, nilPrior float64) (Result, error) {
+func (m *Model) linkNIL(ctx context.Context, doc *corpus.Document, nilPrior float64) (Result, error) {
 	if nilPrior <= 0 || nilPrior >= 1 {
 		return Result{}, fmt.Errorf("shine: NIL prior %v outside (0, 1)", nilPrior)
 	}
@@ -74,7 +82,7 @@ func (m *Model) linkNIL(doc *corpus.Document, nilPrior float64) (Result, error) 
 		}, nil
 	}
 	w, ver := m.snapshotWeightsVer()
-	mx, err := m.prepareMentionMixtures(doc, cands, w, ver)
+	mx, err := m.prepareMentionMixtures(ctx, doc, cands, w, ver)
 	if err != nil {
 		return Result{}, err
 	}

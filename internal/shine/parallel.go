@@ -1,6 +1,7 @@
 package shine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -85,7 +86,7 @@ func (m *Model) PrecomputeMixtures() error {
 	workers := clampWorkers(m.cfg.Workers, len(entities))
 	errs := make([]error, len(entities))
 	parallelFor(len(entities), workers, func(i int) {
-		_, errs[i] = m.mixtureFor(entities[i], w, ver)
+		_, errs[i] = m.mixtureFor(context.Background(), entities[i], w, ver)
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -1,6 +1,7 @@
 package shine
 
 import (
+	"context"
 	"fmt"
 
 	"shine/internal/corpus"
@@ -31,8 +32,10 @@ type candidateProfile struct {
 }
 
 // prepareMention computes the profile matrices for one document and
-// candidate set.
-func (m *Model) prepareMention(doc *corpus.Document, cands []hin.ObjectID) (*mentionData, error) {
+// candidate set. Cancellation is checked before each candidate and,
+// inside the walker, between hops; training passes
+// context.Background() so the EM pipeline is unaffected.
+func (m *Model) prepareMention(ctx context.Context, doc *corpus.Document, cands []hin.ObjectID) (*mentionData, error) {
 	md := &mentionData{
 		doc:     doc,
 		counts:  make([]float64, len(doc.Objects)),
@@ -44,12 +47,15 @@ func (m *Model) prepareMention(doc *corpus.Document, cands []hin.ObjectID) (*men
 		md.generic[oi] = m.generic.Prob(oc.Object)
 	}
 	for ci, e := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		prof := candidateProfile{
 			entity:   e,
 			pathProb: make([][]float64, len(m.paths)),
 		}
 		for pi, p := range m.paths {
-			dist, err := m.walker.WalkPruned(e, p, m.cfg.WalkPruning)
+			dist, err := m.walker.WalkPrunedContext(ctx, e, p, m.cfg.WalkPruning)
 			if err != nil {
 				return nil, fmt.Errorf("shine: walking %s from entity %d: %w", p, e, err)
 			}
@@ -97,7 +103,7 @@ func (m *Model) prepareCorpus(c *corpus.Corpus) ([]*mentionData, int, error) {
 	out := make([]*mentionData, len(jobs))
 	errs := make([]error, len(jobs))
 	parallelFor(len(jobs), m.workers(), func(i int) {
-		out[i], errs[i] = m.prepareMention(jobs[i].doc, jobs[i].cands)
+		out[i], errs[i] = m.prepareMention(context.Background(), jobs[i].doc, jobs[i].cands)
 	})
 	for _, err := range errs {
 		if err != nil {

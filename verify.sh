@@ -11,3 +11,7 @@ go test -race ./...
 # iteration each) so they cannot rot between perf PRs; real numbers
 # live in BENCH_link.json and BENCH_offline.json.
 go test -run=NONE -bench='Link|PageRank|Build' -benchtime=1x .
+# Route/metrics contract guard: every /v1 route answers wrong methods
+# with 405 + Allow, and the request-lifecycle series are present in
+# the /metrics exposition from the first scrape.
+go test -race -run 'TestMethodEnforcement|TestMetricsLifecycleSeries' ./internal/server/
