@@ -32,6 +32,7 @@ import (
 	"shine/internal/pagerank"
 	"shine/internal/server"
 	"shine/internal/shine"
+	"shine/internal/snapshot"
 	"shine/internal/synth"
 )
 
@@ -688,6 +689,84 @@ func BenchmarkLinkParallel(b *testing.B) {
 	elapsed := time.Since(start)
 	b.ReportMetric(float64(b.N)*float64(docs.Len())/elapsed.Seconds(), "docs/sec")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// ------------------------------------------------------------- snapshot
+
+// BenchmarkSnapshotLoad measures restoring a ready-to-serve model from
+// the binary artifact — CRC validation, section slicing and FromParts
+// — the replica cold-start path. MB/s comes from SetBytes; contrast
+// with BenchmarkSnapshotColdJSON, the path the artifact replaces.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	e := benchEnv(b)
+	m := linkModel(b, e)
+	data, err := snapshot.Encode(m.Parts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := snapshot.ReadBytes(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Model(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotColdJSON measures reaching the same warm serving
+// state without the artifact: graph deserialisation, model
+// reconstruction from the JSON state (PageRank, candidate indexing)
+// and the full mixture precompute. The ratio to BenchmarkSnapshotLoad
+// is the artifact's cold-start speedup, recorded in
+// BENCH_snapshot.json.
+func BenchmarkSnapshotColdJSON(b *testing.B) {
+	e := benchEnv(b)
+	m := linkModel(b, e)
+	var graphBuf, modelBuf bytes.Buffer
+	if _, err := e.DS.Data.Graph.WriteTo(&graphBuf); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Save(&modelBuf); err != nil {
+		b.Fatal(err)
+	}
+	graphData, modelData := graphBuf.Bytes(), modelBuf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := hin.ReadGraph(bytes.NewReader(graphData))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m2, err := shine.Load(bytes.NewReader(modelData), g, e.DS.Corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m2.PrecomputeMixtures(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotWrite measures producing the artifact (Parts
+// decomposition + encode), the offline half of the pipeline.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	e := benchEnv(b)
+	m := linkModel(b, e)
+	data, err := snapshot.Encode(m.Parts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snapshot.Encode(m.Parts()); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkWalkKernel contrasts the two walk kernels on an uncached

@@ -40,6 +40,7 @@ import (
 	"shine/internal/obs"
 	"shine/internal/server"
 	"shine/internal/shine"
+	"shine/internal/snapshot"
 	"shine/internal/synth"
 )
 
@@ -70,6 +71,8 @@ func main() {
 		err = cmdAnnotate(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "snapshot":
+		err = cmdSnapshot(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "help", "-h", "--help":
@@ -105,27 +108,42 @@ Commands:
   paths  [-maxlen N] [-enumerate]
          Show the paper's meta-path set (Table 3), or enumerate all
          author-rooted meta-paths up to -maxlen by schema BFS.
-  link   -graph FILE -docs FILE [-model FILE] [-theta F] [-uniform-pop] [-no-learn] [-top N] [-workers N]
+  link   -graph FILE -docs FILE [-model FILE] [-snapshot FILE] [-theta F] [-uniform-pop] [-no-learn] [-top N] [-workers N]
          Ingest the documents, learn meta-path weights by EM (or load a
          trained model), link every mention and report accuracy.
-  train  -graph FILE -docs FILE -model FILE [-theta F] [-uniform-pop] [-workers N]
+         -snapshot skips -graph/-model and restores the whole model
+         from a binary artifact.
+  train  -graph FILE -docs FILE -model FILE [-snapshot FILE] [-theta F] [-uniform-pop] [-workers N]
          Learn meta-path weights by EM and save the trained model.
-         -workers bounds offline (PageRank) and training parallelism
-         (0 = GOMAXPROCS); any worker count computes bit-identical
-         scores and learns bit-identical weights.
+         -snapshot additionally writes the binary artifact servers
+         boot and hot-swap from. -workers bounds offline (PageRank)
+         and training parallelism (0 = GOMAXPROCS); any worker count
+         computes bit-identical scores and learns bit-identical
+         weights.
   annotate -graph FILE -docs FILE [-model FILE] [-in FILE] [-min-posterior F]
          Detect every entity mention in raw text (stdin or -in) and
          link each one, printing spans, entities and confidences.
-  serve  -graph FILE -docs FILE [-model FILE] [-addr :8080] [-nil-prior F]
-         [-metrics=true] [-pprof] [-drain 10s] [-workers N]
-         [-timeout D] [-max-inflight N] [-max-queue N]
+  serve  -graph FILE -docs FILE [-model FILE] [-snapshot FILE]
+         [-addr :8080] [-nil-prior F] [-metrics=true] [-pprof]
+         [-drain 10s] [-workers N] [-timeout D] [-max-inflight N]
+         [-max-queue N]
          Serve the model over HTTP: /v1/link, /v1/annotate,
          /v1/explain, /v1/entity, /v1/healthz, /v1/readyz, plus
          Prometheus metrics at /metrics and optional /debug/pprof
          profiling. -timeout bounds each model-serving request;
          -max-inflight sheds excess load with 429 once its wait
          queue fills. SIGINT/SIGTERM drains in-flight requests
-         before exiting.
+         before exiting. -snapshot boots from a binary artifact
+         (no -graph/-docs needed) and enables zero-downtime hot
+         swaps: SIGHUP or POST /v1/admin/reload re-reads the
+         artifact and atomically swaps the serving model.
+  snapshot build   -graph FILE -docs FILE [-model FILE] [-precompute] -out FILE
+         Package a model (trained via -model, or learned on the
+         spot) into a versioned, checksummed binary artifact that
+         loads in milliseconds.
+  snapshot inspect FILE [-json]
+         Validate an artifact end to end and print its version,
+         checksum, size and contents summary.
   bench  -exp NAME [-quick] [-csv DIR]
          Regenerate a paper experiment. Names: table2, table3, table4,
          table5, fig3, fig4, fig5, fig6, lambda, pruning, sgd,
@@ -391,6 +409,7 @@ func cmdLink(args []string) error {
 	graphPath := fs.String("graph", "dataset.hin", "network file")
 	docsPath := fs.String("docs", "docs.json", "documents file (JSON lines of RawDoc)")
 	modelPath := fs.String("model", "", "trained model file (from `shine train`); skips learning")
+	snapPath := fs.String("snapshot", "", "binary artifact (from `shine snapshot build`); skips -graph and -model")
 	theta := fs.Float64("theta", 0.2, "smoothing parameter θ")
 	uniformPop := fs.Bool("uniform-pop", false, "use the uniform popularity model")
 	noLearn := fs.Bool("no-learn", false, "skip EM learning; use uniform meta-path weights")
@@ -398,6 +417,30 @@ func cmdLink(args []string) error {
 	workers := fs.Int("workers", 0, "offline-pipeline and training worker goroutines (0 = GOMAXPROCS)")
 	precompute := fs.Bool("precompute", false, "eagerly build the frozen entity-mixture index before linking")
 	fs.Parse(args)
+
+	if *snapPath != "" {
+		// The artifact carries the graph, so only the documents load
+		// from disk.
+		snap, err := snapshot.ReadFile(*snapPath)
+		if err != nil {
+			return err
+		}
+		m, err := snap.Model()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s\n", snap.Info())
+		g := m.Graph()
+		d, err := dblpHandles(g)
+		if err != nil {
+			return err
+		}
+		c, err := loadCorpus(g, d, *docsPath)
+		if err != nil {
+			return err
+		}
+		return linkCorpus(m, g, c, *top)
+	}
 
 	g, err := loadGraph(*graphPath)
 	if err != nil {
@@ -457,6 +500,13 @@ func cmdLink(args []string) error {
 			m.MixtureStats().Entries, time.Since(start).Round(time.Millisecond))
 	}
 
+	return linkCorpus(m, g, c, *top)
+}
+
+// linkCorpus links every document and reports accuracy over the
+// labelled ones — shared by the from-scratch and from-snapshot paths
+// of `shine link`.
+func linkCorpus(m *shine.Model, g *hin.Graph, c *corpus.Corpus, top int) error {
 	correct, labelled := 0, 0
 	for _, doc := range c.Docs {
 		r, err := m.Link(doc)
@@ -466,9 +516,9 @@ func cmdLink(args []string) error {
 		}
 		fmt.Printf("%s\t%q\t-> %s (posterior %.3f)\n",
 			doc.ID, doc.Mention, g.Name(r.Entity), r.Candidates[0].Posterior)
-		if *top > 0 {
+		if top > 0 {
 			for i, cs := range r.Candidates {
-				if i >= *top {
+				if i >= top {
 					break
 				}
 				fmt.Printf("\t\t#%d %s\tposterior %.4f\n", i+1, g.Name(cs.Entity), cs.Posterior)
@@ -494,6 +544,7 @@ func cmdTrain(args []string) error {
 	graphPath := fs.String("graph", "dataset.hin", "network file")
 	docsPath := fs.String("docs", "docs.json", "documents file (JSON lines of RawDoc)")
 	modelPath := fs.String("model", "model.json", "output path for the trained model")
+	snapPath := fs.String("snapshot", "", "also write the binary artifact servers boot and hot-swap from")
 	theta := fs.Float64("theta", 0.2, "smoothing parameter θ")
 	uniformPop := fs.Bool("uniform-pop", false, "use the uniform popularity model")
 	workers := fs.Int("workers", 0, "offline-pipeline and training worker goroutines (0 = GOMAXPROCS)")
@@ -539,6 +590,13 @@ func cmdTrain(args []string) error {
 	}
 	fmt.Printf("trained on %d documents in %d EM iterations (converged=%v); model saved to %s\n",
 		c.Len(), stats.EMIterations, stats.Converged, *modelPath)
+	if *snapPath != "" {
+		info, err := snapshot.WriteFile(*snapPath, m.Parts())
+		if err != nil {
+			return fmt.Errorf("writing snapshot: %w", err)
+		}
+		fmt.Printf("wrote %s to %s\n", info, *snapPath)
+	}
 	return nil
 }
 
@@ -624,6 +682,7 @@ func cmdServe(args []string) error {
 	graphPath := fs.String("graph", "dataset.hin", "network file")
 	docsPath := fs.String("docs", "docs.json", "documents file (for the generic object model)")
 	modelPath := fs.String("model", "", "trained model file; omit to learn on startup")
+	snapPath := fs.String("snapshot", "", "binary artifact to boot from and hot-swap on SIGHUP or POST /v1/admin/reload")
 	addr := fs.String("addr", ":8080", "listen address")
 	nilPrior := fs.Float64("nil-prior", 0, "enable NIL detection on /v1/link with this prior")
 	metricsOn := fs.Bool("metrics", true, "expose Prometheus metrics at GET /metrics")
@@ -639,12 +698,164 @@ func cmdServe(args []string) error {
 	// One registry for the whole process, wired before learning so a
 	// startup EM run's iteration metrics are visible on /metrics.
 	reg := obs.NewRegistry()
-	buildStart := time.Now()
+	var m *shine.Model
+	var snapInfo *snapshot.Info
+	var g *hin.Graph
+	if *snapPath != "" {
+		// Snapshot boot: the artifact carries graph, weights, config
+		// and the frozen mixture index — no -graph/-docs load, no EM.
+		loadStart := time.Now()
+		snap, err := snapshot.ReadFile(*snapPath)
+		if err != nil {
+			return err
+		}
+		if m, err = snap.Model(); err != nil {
+			return err
+		}
+		info := snap.Info()
+		snapInfo = &info
+		g = m.Graph()
+		reg.Gauge(server.MetricSnapshotLoadSeconds).Set(time.Since(loadStart).Seconds())
+		fmt.Printf("loaded %s in %v\n", info, time.Since(loadStart).Round(time.Millisecond))
+	} else {
+		buildStart := time.Now()
+		var err error
+		if g, err = loadGraph(*graphPath); err != nil {
+			return err
+		}
+		reg.Gauge(shine.MetricGraphBuildSeconds).Set(time.Since(buildStart).Seconds())
+		d, err := dblpHandles(g)
+		if err != nil {
+			return err
+		}
+		c, err := loadCorpus(g, d, *docsPath)
+		if err != nil {
+			return err
+		}
+		if *modelPath != "" {
+			f, err := os.Open(*modelPath)
+			if err != nil {
+				return err
+			}
+			m, err = shine.Load(f, g, c)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		} else {
+			cfg := shine.DefaultConfig()
+			if *workers > 0 {
+				cfg.Workers = *workers
+			}
+			if m, err = shine.New(g, d.Author, metapath.DBLPPaperPaths(d), c, cfg); err != nil {
+				return err
+			}
+			m.SetMetrics(reg)
+			if _, err := m.Learn(c); err != nil {
+				return err
+			}
+		}
+	}
+	d, err := dblpHandles(g)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(m, corpus.DBLPIngestConfig(d), server.Options{
+		NILPrior:          *nilPrior,
+		Metrics:           reg,
+		NoMetricsEndpoint: !*metricsOn,
+		Pprof:             *pprofOn,
+		Precompute:        *precompute,
+		RequestTimeout:    *timeout,
+		MaxInFlight:       *maxInFlight,
+		MaxQueued:         *maxQueued,
+		SnapshotPath:      *snapPath,
+		SnapshotInfo:      snapInfo,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Bound slow-loris header reads and idle keep-alive
+		// connections; request bodies are already capped by the
+		// server's MaxBodyBytes.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *snapPath != "" {
+		// SIGHUP hot-swaps the serving model from the artifact — the
+		// same path POST /v1/admin/reload takes, so a deploy can use
+		// either `kill -HUP` or the admin endpoint.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if info, err := srv.Reload(); err != nil {
+					fmt.Fprintf(os.Stderr, "shine: SIGHUP reload failed (still serving previous model): %v\n", err)
+				} else {
+					fmt.Printf("SIGHUP reload: now serving %s\n", info)
+				}
+			}
+		}()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("serving %d objects on %s (metrics=%v pprof=%v)\n",
+		g.NumObjects(), *addr, *metricsOn, *pprofOn)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Second signal kills immediately; first drains in-flight
+		// requests up to the deadline.
+		stop()
+		fmt.Fprintf(os.Stderr, "shine: signal received, draining connections (deadline %v)\n", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
+}
+
+// -------------------------------------------------------------- snapshot
+
+func cmdSnapshot(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: shine snapshot build|inspect [flags]")
+	}
+	switch args[0] {
+	case "build":
+		return cmdSnapshotBuild(args[1:])
+	case "inspect":
+		return cmdSnapshotInspect(args[1:])
+	default:
+		return fmt.Errorf("unknown snapshot subcommand %q (want build or inspect)", args[0])
+	}
+}
+
+func cmdSnapshotBuild(args []string) error {
+	fs := flag.NewFlagSet("snapshot build", flag.ExitOnError)
+	graphPath := fs.String("graph", "dataset.hin", "network file")
+	docsPath := fs.String("docs", "docs.json", "documents file (JSON lines of RawDoc)")
+	modelPath := fs.String("model", "", "trained model file (from `shine train`); omit to learn here")
+	outPath := fs.String("out", "model.snap", "output path for the artifact")
+	workers := fs.Int("workers", 0, "offline-pipeline and training worker goroutines (0 = GOMAXPROCS)")
+	precompute := fs.Bool("precompute", true, "bake the frozen entity-mixture index into the artifact so replicas boot warm")
+	fs.Parse(args)
+
 	g, err := loadGraph(*graphPath)
 	if err != nil {
 		return err
 	}
-	reg.Gauge(shine.MetricGraphBuildSeconds).Set(time.Since(buildStart).Seconds())
 	d, err := dblpHandles(g)
 	if err != nil {
 		return err
@@ -672,56 +883,44 @@ func cmdServe(args []string) error {
 		if m, err = shine.New(g, d.Author, metapath.DBLPPaperPaths(d), c, cfg); err != nil {
 			return err
 		}
-		m.SetMetrics(reg)
 		if _, err := m.Learn(c); err != nil {
 			return err
 		}
 	}
-	srv, err := server.New(m, corpus.DBLPIngestConfig(d), server.Options{
-		NILPrior:          *nilPrior,
-		Metrics:           reg,
-		NoMetricsEndpoint: !*metricsOn,
-		Pprof:             *pprofOn,
-		Precompute:        *precompute,
-		RequestTimeout:    *timeout,
-		MaxInFlight:       *maxInFlight,
-		MaxQueued:         *maxQueued,
-	})
+	if *precompute {
+		start := time.Now()
+		if err := m.PrecomputeMixtures(); err != nil {
+			return fmt.Errorf("precomputing mixtures: %w", err)
+		}
+		fmt.Printf("precomputed %d entity mixtures in %v\n",
+			m.MixtureStats().Entries, time.Since(start).Round(time.Millisecond))
+	}
+	info, err := snapshot.WriteFile(*outPath, m.Parts())
 	if err != nil {
 		return err
 	}
+	fmt.Printf("wrote %s to %s\n", info, *outPath)
+	return nil
+}
 
-	hs := &http.Server{
-		Addr:    *addr,
-		Handler: srv,
-		// Bound slow-loris header reads and idle keep-alive
-		// connections; request bodies are already capped by the
-		// server's MaxBodyBytes.
-		ReadHeaderTimeout: 5 * time.Second,
-		IdleTimeout:       120 * time.Second,
+func cmdSnapshotInspect(args []string) error {
+	fs := flag.NewFlagSet("snapshot inspect", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the summary as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: shine snapshot inspect FILE [-json]")
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("serving %d objects on %s (metrics=%v pprof=%v)\n",
-		g.NumObjects(), *addr, *metricsOn, *pprofOn)
-
-	select {
-	case err := <-errc:
+	snap, err := snapshot.ReadFile(fs.Arg(0))
+	if err != nil {
 		return err
-	case <-ctx.Done():
-		// Second signal kills immediately; first drains in-flight
-		// requests up to the deadline.
-		stop()
-		fmt.Fprintf(os.Stderr, "shine: signal received, draining connections (deadline %v)\n", *drain)
-		sctx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		if err := hs.Shutdown(sctx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
-		}
-		return nil
 	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap.Info())
+	}
+	fmt.Println(snap.Info())
+	return nil
 }
 
 // ----------------------------------------------------------------- bench

@@ -121,6 +121,18 @@ func EstimateGeneric(c *Corpus) (*GenericModel, error) {
 	return &GenericModel{probs: counts}, nil
 }
 
+// GenericFromVector adopts a previously estimated probability vector
+// as a GenericModel — the binary-snapshot load path, which restores
+// the exact Pg estimated at build time instead of re-counting the
+// corpus. The vector is retained (not copied) and must not be
+// modified afterwards.
+func GenericFromVector(v sparse.Vector) (*GenericModel, error) {
+	if v.Len() == 0 {
+		return nil, fmt.Errorf("corpus: empty generic object model")
+	}
+	return &GenericModel{probs: v}, nil
+}
+
 // Prob returns Pg(v). Objects never seen in the collection have
 // probability zero; the SHINE model only evaluates Pg on objects of
 // the document being scored, which by construction were seen.

@@ -60,6 +60,30 @@ func writeString(w io.Writer, s string) error {
 	return err
 }
 
+// readChunkBytes bounds any single allocation made while decoding a
+// declared-length field. Data is read in runs of at most this many
+// bytes, so a truncated or hostile header declaring a huge count fails
+// with io.ErrUnexpectedEOF after one chunk instead of allocating
+// gigabytes up front for bytes that are not there.
+const readChunkBytes = 1 << 20
+
+// readInt32s decodes n little-endian int32 values, growing the result
+// chunk by chunk so the transient allocation is bounded by the bytes
+// actually present in the stream, not by the declared count.
+func readInt32s(r io.Reader, n int) ([]int32, error) {
+	maxChunk := readChunkBytes / 4
+	out := make([]int32, 0, min(n, maxChunk))
+	for remaining := n; remaining > 0; {
+		chunk := make([]int32, min(remaining, maxChunk))
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+		remaining -= len(chunk)
+	}
+	return out, nil
+}
+
 func readString(r io.Reader) (string, error) {
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
@@ -68,9 +92,14 @@ func readString(r io.Reader) (string, error) {
 	if n > 1<<24 {
 		return "", fmt.Errorf("hin: string length %d exceeds sanity bound", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+	buf := make([]byte, 0, min(int(n), readChunkBytes))
+	for remaining := int(n); remaining > 0; {
+		chunk := make([]byte, min(remaining, readChunkBytes))
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return "", err
+		}
+		buf = append(buf, chunk...)
+		remaining -= len(chunk)
 	}
 	return string(buf), nil
 }
@@ -250,8 +279,8 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 	if numObjects > 1<<30 {
 		return nil, fmt.Errorf("hin: object count %d exceeds sanity bound", numObjects)
 	}
-	types := make([]int32, numObjects)
-	if err := binary.Read(cr, binary.LittleEndian, types); err != nil {
+	types, err := readInt32s(cr, int(numObjects))
+	if err != nil {
 		return nil, err
 	}
 	b := NewBuilder(schema)
@@ -275,8 +304,8 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 		if err := binary.Read(cr, binary.LittleEndian, &numEdges); err != nil {
 			return nil, err
 		}
-		pairs := make([]int32, 2*numEdges)
-		if err := binary.Read(cr, binary.LittleEndian, pairs); err != nil {
+		pairs, err := readInt32s(cr, 2*int(numEdges))
+		if err != nil {
 			return nil, err
 		}
 		for i := 0; i < len(pairs); i += 2 {

@@ -2,6 +2,7 @@ package hin
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
@@ -87,6 +88,37 @@ func TestReadGraphRejectsCorruption(t *testing.T) {
 	corrupted[len(corrupted)/2] ^= 0xFF
 	if _, err := ReadGraph(bytes.NewReader(corrupted)); err == nil {
 		t.Error("corrupted file accepted")
+	}
+}
+
+// TestReadGraphBoundsHostileCounts feeds headers whose declared
+// lengths wildly exceed the bytes that follow. The reader must fail
+// with a clean error after at most one bounded chunk — a hostile count
+// alone must never drive a multi-gigabyte allocation.
+func TestReadGraphBoundsHostileCounts(t *testing.T) {
+	le := binary.LittleEndian
+	u32 := func(b []byte, v uint32) []byte { return le.AppendUint32(b, v) }
+
+	// magic + version + empty schema, then a huge object count and EOF.
+	hostileObjects := []byte(graphMagic)
+	hostileObjects = u32(hostileObjects, graphVersion)
+	hostileObjects = u32(hostileObjects, 0) // numTypes
+	hostileObjects = u32(hostileObjects, 0) // numRels
+	hostileObjects = u32(hostileObjects, 1<<30)
+
+	// magic + version, then one type whose name claims 16 MB.
+	hostileString := []byte(graphMagic)
+	hostileString = u32(hostileString, graphVersion)
+	hostileString = u32(hostileString, 1) // numTypes
+	hostileString = u32(hostileString, 1<<24)
+
+	for name, data := range map[string][]byte{
+		"objects": hostileObjects,
+		"string":  hostileString,
+	} {
+		if _, err := ReadGraph(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: hostile count accepted", name)
+		}
 	}
 }
 

@@ -1,0 +1,136 @@
+package hin
+
+import "fmt"
+
+// GraphParts is the flat-array decomposition of a Graph: everything a
+// binary snapshot needs to persist so that FromParts can reassemble
+// an identical graph without replaying edges through a Builder. The
+// derived structures (per-type object lists, the name lookup index,
+// the total-degree cache) are intentionally absent — they are cheap
+// O(V) rebuilds, while the CSR adjacency they are derived from is the
+// expensive part worth shipping verbatim.
+type GraphParts struct {
+	Schema *Schema
+	// TypeOf and Names are indexed by ObjectID.
+	TypeOf []TypeID
+	Names  []string
+	// Offs[rel] has len(TypeOf)+1 entries; Adjs[rel][Offs[rel][v]:
+	// Offs[rel][v+1]] is object v's neighbor run under relation rel,
+	// ascending with multiplicity. One entry per directed relation
+	// (forward and inverse), in schema order.
+	Offs [][]int32
+	Adjs [][]ObjectID
+}
+
+// Parts decomposes the graph into its flat arrays. All slices are
+// shared with the graph and must not be modified.
+func (g *Graph) Parts() GraphParts {
+	p := GraphParts{
+		Schema: g.schema,
+		TypeOf: g.typeOf,
+		Names:  g.names,
+		Offs:   make([][]int32, len(g.rels)),
+		Adjs:   make([][]ObjectID, len(g.rels)),
+	}
+	for rel := range g.rels {
+		p.Offs[rel] = g.rels[rel].off
+		p.Adjs[rel] = g.rels[rel].adj
+	}
+	return p
+}
+
+// FromParts assembles an immutable Graph directly from flat arrays,
+// validating every structural invariant a Builder would have
+// guaranteed: types in range, offsets monotone and consistent with
+// adjacency lengths, neighbor runs ascending and type-correct, and
+// forward/inverse pairs of equal size. The slices are adopted without
+// copying — callers hand over ownership. This is the snapshot load
+// path: one validation sweep over the arrays instead of re-sorting
+// every adjacency run.
+func FromParts(p GraphParts) (*Graph, error) {
+	if p.Schema == nil {
+		return nil, fmt.Errorf("hin: FromParts: nil schema")
+	}
+	n := len(p.TypeOf)
+	if len(p.Names) != n {
+		return nil, fmt.Errorf("hin: FromParts: %d names for %d objects", len(p.Names), n)
+	}
+	numRels := p.Schema.NumRelations()
+	if len(p.Offs) != numRels || len(p.Adjs) != numRels {
+		return nil, fmt.Errorf("hin: FromParts: %d/%d relation arrays for schema with %d relations",
+			len(p.Offs), len(p.Adjs), numRels)
+	}
+	for v, t := range p.TypeOf {
+		if !p.Schema.validType(t) {
+			return nil, fmt.Errorf("hin: FromParts: object %d has invalid type %d", v, t)
+		}
+	}
+
+	g := &Graph{
+		schema: p.Schema,
+		typeOf: p.TypeOf,
+		names:  p.Names,
+		rels:   make([]csr, numRels),
+	}
+	for rel := 0; rel < numRels; rel++ {
+		off, adj := p.Offs[rel], p.Adjs[rel]
+		if len(off) != n+1 {
+			return nil, fmt.Errorf("hin: FromParts: relation %d has %d offsets for %d objects", rel, len(off), n)
+		}
+		if off[0] != 0 || int(off[n]) != len(adj) {
+			return nil, fmt.Errorf("hin: FromParts: relation %d offsets span [%d, %d] over %d links",
+				rel, off[0], off[n], len(adj))
+		}
+		ri := p.Schema.Relation(RelationID(rel))
+		for v := 0; v < n; v++ {
+			if off[v+1] < off[v] {
+				return nil, fmt.Errorf("hin: FromParts: relation %d offsets decrease at object %d", rel, v)
+			}
+			row := adj[off[v]:off[v+1]]
+			if len(row) > 0 && p.TypeOf[v] != ri.From {
+				return nil, fmt.Errorf("hin: FromParts: relation %s has links from object %d of wrong type", ri.Name, v)
+			}
+			for k, d := range row {
+				if d < 0 || int(d) >= n {
+					return nil, fmt.Errorf("hin: FromParts: relation %d links object %d to out-of-range %d", rel, v, d)
+				}
+				if p.TypeOf[d] != ri.To {
+					return nil, fmt.Errorf("hin: FromParts: relation %s links to object %d of wrong type", ri.Name, d)
+				}
+				if k > 0 && row[k-1] > d {
+					return nil, fmt.Errorf("hin: FromParts: relation %d row %d not ascending", rel, v)
+				}
+			}
+		}
+		g.rels[rel] = csr{off: off, adj: adj}
+	}
+	for rel := 0; rel < numRels; rel += 2 {
+		if len(g.rels[rel].adj) != len(g.rels[rel+1].adj) {
+			return nil, fmt.Errorf("hin: FromParts: relation %d has %d forward links but %d inverse links",
+				rel, len(g.rels[rel].adj), len(g.rels[rel+1].adj))
+		}
+	}
+
+	// Derived structures: per-type lists, the name lookup index and the
+	// total-degree cache — O(V) rebuilds identical to Builder.Build's.
+	g.byType = make([][]ObjectID, p.Schema.NumTypes())
+	for v, t := range g.typeOf {
+		g.byType[t] = append(g.byType[t], ObjectID(v))
+	}
+	g.nameIndex = make(map[nameKey]ObjectID, n)
+	for v, name := range g.names {
+		key := nameKey{g.typeOf[v], name}
+		if prev, dup := g.nameIndex[key]; dup {
+			return nil, fmt.Errorf("hin: FromParts: objects %d and %d share type %d and name %q", prev, v, g.typeOf[v], name)
+		}
+		g.nameIndex[key] = ObjectID(v)
+	}
+	g.totalDeg = make([]int32, n)
+	for rel := range g.rels {
+		off := g.rels[rel].off
+		for v := 0; v < n; v++ {
+			g.totalDeg[v] += off[v+1] - off[v]
+		}
+	}
+	return g, nil
+}

@@ -156,6 +156,25 @@ func (r *Registry) Register(c Collector) {
 	r.collectors = append(r.collectors, c)
 }
 
+// Unregister removes a previously registered collector, matching by
+// identity. Unknown collectors are a no-op. The hot-swap path uses
+// this to detach the outgoing model's walker and mixture collectors
+// before registering the replacement's, so one scrape never sees the
+// same series emitted twice.
+func (r *Registry) Unregister(c Collector) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, existing := range r.collectors {
+		if existing == c {
+			r.collectors = append(r.collectors[:i], r.collectors[i+1:]...)
+			return
+		}
+	}
+}
+
 func (r *Registry) metric(name string, k kind, bounds []float64, labels []string) interface{} {
 	sig := labelSignature(labels)
 	r.mu.Lock()

@@ -225,7 +225,7 @@ func (s *Server) Ready() bool { return s.ready.Load() }
 // /v1/healthz (liveness): a not-ready server is healthy — restarting
 // it would only lose the warm mixture index.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	st := s.model.MixtureStats()
+	st := s.serving.Load().model.MixtureStats()
 	body := struct {
 		Status string `json:"status"`
 		// Mixtures is the frozen entity-mixture index occupancy — how

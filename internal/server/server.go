@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,17 +47,47 @@ import (
 	"shine/internal/namematch"
 	"shine/internal/obs"
 	"shine/internal/shine"
+	"shine/internal/snapshot"
 )
 
-// Server wires a model and its ingestion pipeline into an
-// http.Handler. It is safe for concurrent requests.
-type Server struct {
+// serving is one immutable generation of the serving state: the
+// model plus everything derived from its graph. Handlers load the
+// whole bundle once per request from Server.serving, so a hot swap
+// mid-request can never pair one generation's model with another's
+// index — a request is served entirely by the generation it started
+// on.
+type serving struct {
 	model     *shine.Model
 	ingester  *corpus.Ingester
 	annotator *annotate.Annotator
-	mux       *http.ServeMux
 	// looseIndex answers /v1/candidates with first-initial matching.
 	looseIndex *namematch.Index
+	// snapInfo identifies the snapshot artifact this generation was
+	// loaded from; nil when the model was built in-process.
+	snapInfo *snapshot.Info
+}
+
+// Server wires a model and its ingestion pipeline into an
+// http.Handler. It is safe for concurrent requests, including
+// concurrent hot swaps via Reload.
+type Server struct {
+	// serving is the current generation, swapped atomically by Reload.
+	serving atomic.Pointer[serving]
+	mux     *http.ServeMux
+	// Rebuild inputs Reload needs to derive a fresh generation from a
+	// new model: the ingestion config and the Options that shaped the
+	// original bundle.
+	ingestCfg    corpus.IngestConfig
+	entityTypeOpt hin.TypeID
+	minPosterior float64
+	precompute   bool
+	// snapshotPath, when set, is the artifact POST /v1/admin/reload
+	// (and SIGHUP in the CLI) reloads from.
+	snapshotPath string
+	// reloadMu single-flights Reload; concurrent requests get a 409.
+	reloadMu sync.Mutex
+	// snap holds the shine_snapshot_* instruments; always non-nil.
+	snap *snapshotMetrics
 	// maxBodyBytes bounds request bodies; documents are pages, not
 	// uploads.
 	maxBodyBytes int64
@@ -128,25 +159,29 @@ type Options struct {
 	// set; 0 defaults to MaxInFlight. Negative disables queueing
 	// entirely (immediate 429 once the limit is reached).
 	MaxQueued int
+	// SnapshotPath, when set, enables zero-downtime hot swaps: POST
+	// /v1/admin/reload (and SIGHUP in the CLI) re-reads this artifact,
+	// validates it off the request path and atomically swaps the
+	// serving model.
+	SnapshotPath string
+	// SnapshotInfo identifies the artifact the initial model was
+	// loaded from, when it came from one; logged at startup and
+	// exposed in the /v1/healthz payload.
+	SnapshotInfo *snapshot.Info
 }
 
-// New builds a server over a (typically trained) model.
-func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, error) {
-	if opts.MaxBodyBytes <= 0 {
-		opts.MaxBodyBytes = 1 << 20
-	}
-	if opts.NILPrior < 0 || opts.NILPrior >= 1 {
-		return nil, fmt.Errorf("server: NIL prior %v outside [0, 1)", opts.NILPrior)
-	}
+// buildServing derives one serving generation from a model: the
+// ingestion pipeline, the annotator and the loose candidate index.
+func buildServing(m *shine.Model, ingestCfg corpus.IngestConfig, entityTypeOpt hin.TypeID, minPosterior float64, snapInfo *snapshot.Info) (*serving, error) {
 	ing, err := corpus.NewIngester(m.Graph(), ingestCfg)
 	if err != nil {
 		return nil, err
 	}
-	ann, err := annotate.New(m, ingestCfg, annotate.Options{MinPosterior: opts.MinPosterior})
+	ann, err := annotate.New(m, ingestCfg, annotate.Options{MinPosterior: minPosterior})
 	if err != nil {
 		return nil, err
 	}
-	entityType := opts.EntityType
+	entityType := entityTypeOpt
 	if entityType <= 0 {
 		paths := m.Paths()
 		if len(paths) == 0 {
@@ -158,6 +193,21 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 	if err != nil {
 		return nil, fmt.Errorf("server: indexing entity names: %w", err)
 	}
+	return &serving{model: m, ingester: ing, annotator: ann, looseIndex: idx, snapInfo: snapInfo}, nil
+}
+
+// New builds a server over a (typically trained) model.
+func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, error) {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	if opts.NILPrior < 0 || opts.NILPrior >= 1 {
+		return nil, fmt.Errorf("server: NIL prior %v outside [0, 1)", opts.NILPrior)
+	}
+	sv, err := buildServing(m, ingestCfg, opts.EntityType, opts.MinPosterior, opts.SnapshotInfo)
+	if err != nil {
+		return nil, err
+	}
 	if opts.RequestTimeout < 0 {
 		return nil, fmt.Errorf("server: negative request timeout %v", opts.RequestTimeout)
 	}
@@ -166,17 +216,23 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		model:          m,
-		ingester:       ing,
-		annotator:      ann,
 		mux:            http.NewServeMux(),
-		looseIndex:     idx,
+		ingestCfg:      ingestCfg,
+		entityTypeOpt:  opts.EntityType,
+		minPosterior:   opts.MinPosterior,
+		precompute:     opts.Precompute,
+		snapshotPath:   opts.SnapshotPath,
 		maxBodyBytes:   opts.MaxBodyBytes,
 		nilPrior:       opts.NILPrior,
 		logger:         opts.Logger,
 		metrics:        reg,
 		lifecycle:      newLifecycleMetrics(reg),
+		snap:           newSnapshotMetrics(reg),
 		requestTimeout: opts.RequestTimeout,
+	}
+	s.serving.Store(sv)
+	if opts.SnapshotInfo != nil {
+		s.snap.bytes.Set(float64(opts.SnapshotInfo.Bytes))
 	}
 	if opts.MaxInFlight > 0 {
 		queued := opts.MaxQueued
@@ -207,6 +263,9 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 	s.route(http.MethodGet, "/v1/entity", s.guard(s.handleEntity))
 	s.route(http.MethodGet, "/v1/healthz", s.handleHealthz)
 	s.route(http.MethodGet, "/v1/readyz", s.handleReadyz)
+	// Admin endpoints are ops-plane like healthz: not guarded, so a
+	// reload cannot be shed by the very overload it might relieve.
+	s.route(http.MethodPost, "/v1/admin/reload", s.handleReload)
 	if !opts.NoMetricsEndpoint {
 		s.route(http.MethodGet, "/metrics", reg.Handler().ServeHTTP)
 	}
@@ -317,15 +376,16 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "mention is required")
 		return
 	}
-	doc := s.ingester.Ingest(s.nextRequestID(), req.Mention, hin.NoObject, req.Text)
+	sv := s.serving.Load()
+	doc := sv.ingester.Ingest(s.nextRequestID(), req.Mention, hin.NoObject, req.Text)
 
 	ctx := r.Context()
 	var res shine.Result
 	var err error
 	if s.nilPrior > 0 {
-		res, err = s.model.LinkNILContext(ctx, doc, s.nilPrior)
+		res, err = sv.model.LinkNILContext(ctx, doc, s.nilPrior)
 	} else {
-		res, err = s.model.LinkContext(ctx, doc)
+		res, err = sv.model.LinkContext(ctx, doc)
 	}
 	if err != nil {
 		if isCtxError(err) {
@@ -339,11 +399,11 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	resp := linkResponse{Entity: entityID(res.Entity), Name: s.entityName(res.Entity)}
+	resp := linkResponse{Entity: entityID(res.Entity), Name: entityName(sv, res.Entity)}
 	for _, cs := range res.Candidates {
 		resp.Candidates = append(resp.Candidates, candidateJSON{
 			Entity:    entityID(cs.Entity),
-			Name:      s.entityName(cs.Entity),
+			Name:      entityName(sv, cs.Entity),
 			Posterior: cs.Posterior,
 		})
 	}
@@ -374,7 +434,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "text is required")
 		return
 	}
-	anns, err := s.annotator.AnnotateContext(r.Context(), s.nextRequestID(), req.Text)
+	anns, err := s.serving.Load().annotator.AnnotateContext(r.Context(), s.nextRequestID(), req.Text)
 	if err != nil {
 		if isCtxError(err) {
 			s.respondCtxError(w, err)
@@ -422,8 +482,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "mention is required")
 		return
 	}
-	doc := s.ingester.Ingest(s.nextRequestID(), req.Mention, hin.NoObject, req.Text)
-	ex, err := s.model.ExplainContext(r.Context(), doc)
+	sv := s.serving.Load()
+	doc := sv.ingester.Ingest(s.nextRequestID(), req.Mention, hin.NoObject, req.Text)
+	ex, err := sv.model.ExplainContext(r.Context(), doc)
 	if err != nil {
 		if isCtxError(err) {
 			s.respondCtxError(w, err)
@@ -438,7 +499,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := explainResponse{
 		Entity:            entityID(ex.Entity),
-		Name:              s.entityName(ex.Entity),
+		Name:              entityName(sv, ex.Entity),
 		RunnerUp:          entityID(ex.RunnerUp),
 		Margin:            ex.Margin,
 		PopularityLogOdds: ex.PopularityLogOdds,
@@ -465,20 +526,21 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	loose := r.URL.Query().Get("loose") == "1"
+	sv := s.serving.Load()
 	var cands []hin.ObjectID
 	if loose {
-		cands = s.looseIndex.LooseCandidates(mention)
+		cands = sv.looseIndex.LooseCandidates(mention)
 	} else {
-		cands = s.looseIndex.Candidates(mention)
+		cands = sv.looseIndex.Candidates(mention)
 	}
-	g := s.model.Graph()
+	g := sv.model.Graph()
 	resp := candidatesResponse{Mention: mention, Loose: loose, Candidates: []entityResponse{}}
 	for _, e := range cands {
 		resp.Candidates = append(resp.Candidates, entityResponse{
 			Entity:     int32(e),
 			Name:       g.Name(e),
 			Type:       g.Schema().Type(g.TypeOf(e)).Name,
-			Popularity: s.model.Popularity(e),
+			Popularity: sv.model.Popularity(e),
 		})
 	}
 	s.writeJSON(w, resp)
@@ -501,7 +563,8 @@ func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := int32(id64)
-	g := s.model.Graph()
+	sv := s.serving.Load()
+	g := sv.model.Graph()
 	if id < 0 || int(id) >= g.NumObjects() {
 		httpError(w, http.StatusNotFound, "no such object")
 		return
@@ -511,15 +574,17 @@ func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
 		Entity:     id,
 		Name:       g.Name(obj),
 		Type:       g.Schema().Type(g.TypeOf(obj)).Name,
-		Popularity: s.model.Popularity(obj),
+		Popularity: sv.model.Popularity(obj),
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sv := s.serving.Load()
 	s.writeJSON(w, struct {
-		Status  string `json:"status"`
-		Objects int    `json:"objects"`
-	}{"ok", s.model.Graph().NumObjects()})
+		Status   string         `json:"status"`
+		Objects  int            `json:"objects"`
+		Snapshot *snapshot.Info `json:"snapshot,omitempty"`
+	}{"ok", sv.model.Graph().NumObjects(), sv.snapInfo})
 }
 
 // ---------------------------------------------------------------- helpers
@@ -559,11 +624,11 @@ func entityID(e hin.ObjectID) *int32 {
 	return &id
 }
 
-func (s *Server) entityName(e hin.ObjectID) string {
+func entityName(sv *serving, e hin.ObjectID) string {
 	if e == hin.NoObject {
 		return ""
 	}
-	return s.model.Graph().Name(e)
+	return sv.model.Graph().Name(e)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {

@@ -127,6 +127,21 @@ func (m *Model) SetMetrics(reg *obs.Registry) {
 	m.metrics.observePageRank(m.prSeconds, m.prIterations)
 }
 
+// UnregisterCollectors detaches the model's walker-cache and
+// mixture-index collectors from the registry. The hot-swap path calls
+// this on the outgoing model before SetMetrics on its replacement, so
+// one scrape never sees the walker/mixture series emitted twice. The
+// outgoing model keeps its instruments — in-flight requests may still
+// be recording — which is harmless: instruments are shared get-or-
+// create by name, only collectors are per-model.
+func (m *Model) UnregisterCollectors(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Unregister(m.walker)
+	reg.Unregister(&m.mixtures)
+}
+
 // observePageRank publishes the most recent offline PageRank run.
 // Safe on a nil receiver.
 func (mm *modelMetrics) observePageRank(seconds float64, iterations int) {

@@ -1,9 +1,11 @@
 package shine
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -83,6 +85,40 @@ func (mi *mixtureIndex) store(e hin.ObjectID, d sparse.Dist, ver uint64) {
 		mi.mix = make(map[hin.ObjectID]sparse.Dist)
 	}
 	mi.mix[e] = d
+}
+
+// snapshotEntries returns every mixture cached at version ver, sorted
+// by ascending entity ID — the serialisation order binary snapshots
+// write. Returns nil if the index has moved past ver or holds nothing.
+func (mi *mixtureIndex) snapshotEntries(ver uint64) []MixtureEntry {
+	mi.mu.RLock()
+	defer mi.mu.RUnlock()
+	if mi.ver != ver || len(mi.mix) == 0 {
+		return nil
+	}
+	out := make([]MixtureEntry, 0, len(mi.mix))
+	for e, d := range mi.mix {
+		out = append(out, MixtureEntry{Entity: e, Mixture: d})
+	}
+	slices.SortFunc(out, func(a, b MixtureEntry) int { return cmp.Compare(a.Entity, b.Entity) })
+	return out
+}
+
+// installEntries replaces the whole index with pre-built mixtures at
+// the given weight version — the snapshot load path, which restores
+// the serving index without re-walking a single meta-path.
+func (mi *mixtureIndex) installEntries(entries []MixtureEntry, ver uint64) {
+	var mix map[hin.ObjectID]sparse.Dist
+	if len(entries) > 0 {
+		mix = make(map[hin.ObjectID]sparse.Dist, len(entries))
+		for _, en := range entries {
+			mix[en.Entity] = en.Mixture
+		}
+	}
+	mi.mu.Lock()
+	mi.ver = ver
+	mi.mix = mix
+	mi.mu.Unlock()
 }
 
 // MixtureIndexStats reports the mixture index's occupancy and

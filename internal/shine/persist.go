@@ -56,6 +56,10 @@ func Load(r io.Reader, g *hin.Graph, docs *corpus.Corpus) (*Model, error) {
 	if err := json.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("shine: decoding model state: %w", err)
 	}
+	if st.Version > modelStateVersion {
+		return nil, fmt.Errorf("shine: model state version %d was built by a newer shine (this build reads up to version %d); upgrade the binary or re-save the model",
+			st.Version, modelStateVersion)
+	}
 	if st.Version != modelStateVersion {
 		return nil, fmt.Errorf("shine: unsupported model state version %d", st.Version)
 	}

@@ -65,6 +65,15 @@ func TestLoadRejectsBadState(t *testing.T) {
 	}
 }
 
+func TestLoadRejectsNewerVersion(t *testing.T) {
+	f := newFixture(t)
+	s := `{"version": 2, "entityType": "author", "paths": ["A-P-V"], "weights": [1]}`
+	_, err := Load(strings.NewReader(s), f.g, f.corpus)
+	if err == nil || !strings.Contains(err.Error(), "newer shine") {
+		t.Errorf("newer-version artifact error = %v, want \"built by a newer shine\"", err)
+	}
+}
+
 func TestLoadRejectsInvalidWeights(t *testing.T) {
 	f := newFixture(t)
 	s := `{"version": 1, "entityType": "author", "paths": ["A-P-V", "A-P-T"],

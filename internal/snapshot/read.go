@@ -1,0 +1,373 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"shine/internal/hin"
+	"shine/internal/metapath"
+	"shine/internal/shine"
+	"shine/internal/sparse"
+)
+
+// Snapshot is a decoded artifact: the validated model decomposition
+// plus its identity. Decoding already ran every structural check
+// (CRCs, bounds, CSR invariants), so Model() is a cheap final
+// assembly — a name-index build and a weight install, no walks, no
+// PageRank.
+type Snapshot struct {
+	parts shine.Parts
+	info  Info
+}
+
+// Info returns the artifact's identity and shape.
+func (s *Snapshot) Info() Info { return s.info }
+
+// Parts returns the decoded model decomposition (shared; do not
+// modify).
+func (s *Snapshot) Parts() shine.Parts { return s.parts }
+
+// Model materialises the serving model.
+func (s *Snapshot) Model() (*shine.Model, error) {
+	return shine.FromParts(s.parts)
+}
+
+// ReadFile reads and validates an artifact from disk.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	s, err := ReadBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (reading %s)", err, path)
+	}
+	return s, nil
+}
+
+// ReadBytes decodes and validates an artifact held in memory. Every
+// declared length is bounded by the bytes present before anything is
+// allocated, every section CRC is checked before its fields are
+// decoded, and the reassembled graph and model pass the same
+// invariant sweeps a from-scratch build would — corrupt, truncated or
+// reordered input returns an error, never a panic or an outsized
+// allocation.
+func ReadBytes(data []byte) (*Snapshot, error) {
+	if len(data) < headerLen+4 {
+		return nil, fmt.Errorf("snapshot: %d bytes is shorter than any artifact", len(data))
+	}
+	if string(data[:8]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q, not a SHINE snapshot", data[:8])
+	}
+	version := le.Uint32(data[8:])
+	if version > FormatVersion {
+		return nil, fmt.Errorf("%w: artifact format v%d, this build reads up to v%d; upgrade the binary",
+			ErrNewerVersion, version, FormatVersion)
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d", version)
+	}
+	count := int(le.Uint32(data[12:]))
+	if count <= 0 || count > maxSections {
+		return nil, fmt.Errorf("snapshot: section count %d out of range", count)
+	}
+	tableLen := tableEntry * count
+	if len(data) < headerLen+tableLen+4 {
+		return nil, fmt.Errorf("snapshot: truncated section table")
+	}
+	table := data[headerLen : headerLen+tableLen]
+	if got, want := crc32.ChecksumIEEE(table), le.Uint32(data[headerLen+tableLen:]); got != want {
+		return nil, fmt.Errorf("snapshot: section table checksum mismatch: file %08x, computed %08x", want, got)
+	}
+
+	// Parse the table. IDs must be strictly ascending and payloads
+	// contiguous in table order — a shuffled table is corruption, not a
+	// layout choice.
+	type entry struct {
+		id      uint32
+		payload []byte
+	}
+	entries := make([]entry, count)
+	expect := uint64(headerLen + tableLen + 4)
+	for i := range entries {
+		row := table[i*tableEntry:]
+		id := le.Uint32(row)
+		offset := le.Uint64(row[8:])
+		length := le.Uint64(row[16:])
+		crc := le.Uint32(row[24:])
+		if i > 0 && entries[i-1].id >= id {
+			return nil, fmt.Errorf("snapshot: section table not strictly ascending at entry %d (id %d)", i, id)
+		}
+		if offset != expect {
+			return nil, fmt.Errorf("snapshot: section %s at offset %d, expected %d", sectionName(id), offset, expect)
+		}
+		if length > uint64(len(data))-offset {
+			return nil, fmt.Errorf("snapshot: section %s length %d exceeds artifact", sectionName(id), length)
+		}
+		payload := data[offset : offset+length]
+		if got := crc32.ChecksumIEEE(payload); got != crc {
+			return nil, fmt.Errorf("snapshot: section %s checksum mismatch: table %08x, computed %08x", sectionName(id), crc, got)
+		}
+		entries[i] = entry{id: id, payload: payload}
+		expect = offset + length
+	}
+	if expect != uint64(len(data)) {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after last section", uint64(len(data))-expect)
+	}
+	want := []uint32{secMeta, secConfig, secObjects, secCSR, secPopularity, secWeights, secGeneric, secMixtures}
+	if count != len(want) {
+		return nil, fmt.Errorf("snapshot: %d sections, format v%d has %d", count, FormatVersion, len(want))
+	}
+	for i, id := range want {
+		if entries[i].id != id {
+			return nil, fmt.Errorf("snapshot: section %d is id %d, want %s", i, entries[i].id, sectionName(id))
+		}
+	}
+	payload := func(id uint32) []byte { return entries[id-1].payload }
+
+	// Section 1: meta — schema, entity type, paths.
+	var meta metaSection
+	if err := json.Unmarshal(payload(secMeta), &meta); err != nil {
+		return nil, fmt.Errorf("snapshot: decoding meta: %w", err)
+	}
+	if len(meta.Paths) == 0 || len(meta.Paths) > maxPathCount {
+		return nil, fmt.Errorf("snapshot: %d meta-paths out of range", len(meta.Paths))
+	}
+	schema := hin.NewSchema()
+	for _, t := range meta.Types {
+		if _, err := schema.AddType(t.Name, t.Abbrev); err != nil {
+			return nil, fmt.Errorf("snapshot: rebuilding schema: %w", err)
+		}
+	}
+	for _, r := range meta.Relations {
+		if _, err := schema.AddRelation(r.Name, r.Inverse, hin.TypeID(r.From), hin.TypeID(r.To)); err != nil {
+			return nil, fmt.Errorf("snapshot: rebuilding schema: %w", err)
+		}
+	}
+	entityType, ok := schema.TypeByName(meta.EntityType)
+	if !ok {
+		return nil, fmt.Errorf("snapshot: schema has no entity type %q", meta.EntityType)
+	}
+	paths, err := metapath.ParseAll(schema, meta.Paths)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reparsing meta-paths: %w", err)
+	}
+
+	// Section 2: config.
+	var cfg shine.Config
+	if err := json.Unmarshal(payload(secConfig), &cfg); err != nil {
+		return nil, fmt.Errorf("snapshot: decoding config: %w", err)
+	}
+
+	// Section 3: objects.
+	c := &cursor{b: payload(secObjects), sec: "objects"}
+	nu, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	n := int(nu)
+	typeOf, err := c.i32s(n)
+	if err != nil {
+		return nil, err
+	}
+	nameBytes, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	nameOffs, err := c.u32s(n + 1)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := c.bytes(int(nameBytes))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	if nameOffs[0] != 0 || nameOffs[n] != nameBytes {
+		return nil, fmt.Errorf("snapshot: name offsets span [%d, %d] over %d bytes", nameOffs[0], nameOffs[n], nameBytes)
+	}
+	names := make([]string, n)
+	types := make([]hin.TypeID, n)
+	for v := 0; v < n; v++ {
+		if nameOffs[v+1] < nameOffs[v] || nameOffs[v+1] > nameBytes {
+			return nil, fmt.Errorf("snapshot: name offsets decrease at object %d", v)
+		}
+		names[v] = string(blob[nameOffs[v]:nameOffs[v+1]])
+		types[v] = hin.TypeID(typeOf[v])
+	}
+
+	// Section 4: CSR adjacency.
+	c = &cursor{b: payload(secCSR), sec: "csr"}
+	numRelsU, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(numRelsU) != schema.NumRelations() {
+		return nil, fmt.Errorf("snapshot: %d relation arrays for schema with %d relations", numRelsU, schema.NumRelations())
+	}
+	offs := make([][]int32, numRelsU)
+	adjs := make([][]hin.ObjectID, numRelsU)
+	for rel := range offs {
+		off, err := c.i32s(n + 1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if off[n] != int32(m) {
+			return nil, fmt.Errorf("snapshot: relation %d declares %d links, offsets end at %d", rel, m, off[n])
+		}
+		adj, err := c.i32s(int(m))
+		if err != nil {
+			return nil, err
+		}
+		offs[rel] = off
+		adjs[rel] = objectIDsFromInt32(adj)
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+
+	g, err := hin.FromParts(hin.GraphParts{
+		Schema: schema, TypeOf: types, Names: names, Offs: offs, Adjs: adjs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+
+	// Section 5: popularity.
+	c = &cursor{b: payload(secPopularity), sec: "popularity"}
+	popN, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	popularity, err := c.f64s(int(popN))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+
+	// Section 6: weights.
+	c = &cursor{b: payload(secWeights), sec: "weights"}
+	wN, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	weights, err := c.f64s(int(wN))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+
+	// Section 7: generic object model.
+	c = &cursor{b: payload(secGeneric), sec: "generic"}
+	gN, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	gidx, err := c.i32s(int(gN))
+	if err != nil {
+		return nil, err
+	}
+	gval, err := c.f64s(int(gN))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	gdist, err := sparse.NewDistFromRaw(gidx, gval)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: generic model: %w", err)
+	}
+
+	// Section 8: frozen mixtures.
+	c = &cursor{b: payload(secMixtures), sec: "mixtures"}
+	mixN, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	ents, err := c.i32s(int(mixN))
+	if err != nil {
+		return nil, err
+	}
+	cum, err := c.u32s(int(mixN) + 1)
+	if err != nil {
+		return nil, err
+	}
+	if cum[0] != 0 {
+		return nil, fmt.Errorf("snapshot: mixture offsets start at %d", cum[0])
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			return nil, fmt.Errorf("snapshot: mixture offsets decrease at entry %d", i)
+		}
+	}
+	totalNNZ := int(cum[mixN])
+	midx, err := c.i32s(totalNNZ)
+	if err != nil {
+		return nil, err
+	}
+	mval, err := c.f64s(totalNNZ)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	mixtures := make([]shine.MixtureEntry, mixN)
+	for i := range mixtures {
+		lo, hi := cum[i], cum[i+1]
+		d, err := sparse.NewDistFromRaw(midx[lo:hi:hi], mval[lo:hi:hi])
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: mixture for entity %d: %w", ents[i], err)
+		}
+		mixtures[i] = shine.MixtureEntry{Entity: hin.ObjectID(ents[i]), Mixture: d}
+	}
+
+	parts := shine.Parts{
+		Graph:        g,
+		EntityType:   entityType,
+		Paths:        paths,
+		Config:       cfg,
+		Weights:      weights,
+		Popularity:   popularity,
+		PRSeconds:    meta.PRSeconds,
+		PRIterations: meta.PRIterations,
+		Generic:      gdist.Thaw(),
+		Mixtures:     mixtures,
+	}
+	// Dry-run the final assembly so a Snapshot in hand is a model that
+	// will materialise: FromParts runs the semantic validation
+	// (weights, popularity, mixture typing) that the wire-level sweep
+	// above cannot.
+	if _, err := shine.FromParts(parts); err != nil {
+		return nil, err
+	}
+	return &Snapshot{parts: parts, info: infoFor(data, parts)}, nil
+}
+
+func sectionName(id uint32) string {
+	if name, ok := sectionNames[id]; ok {
+		return name
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+func objectIDsFromInt32(xs []int32) []hin.ObjectID {
+	out := make([]hin.ObjectID, len(xs))
+	for i, x := range xs {
+		out[i] = hin.ObjectID(x)
+	}
+	return out
+}

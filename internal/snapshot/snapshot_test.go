@@ -1,0 +1,260 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shine/internal/corpus"
+	"shine/internal/hin"
+	"shine/internal/metapath"
+	"shine/internal/shine"
+	"shine/internal/snapshot"
+)
+
+// fixture builds a miniature DBLP network, a small corpus over it and
+// a model with non-uniform weights and a populated mixture index —
+// every section of the artifact is exercised.
+type fixture struct {
+	graph *hin.Graph
+	docs  *corpus.Corpus
+	model *shine.Model
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	d := hin.NewDBLPSchema()
+	b := hin.NewBuilder(d.Schema)
+	wei1 := b.MustAddObject(d.Author, "Wei Wang")
+	wei2 := b.MustAddObject(d.Author, "Wei Wang (2)")
+	rakesh := b.MustAddObject(d.Author, "Rakesh Kumar")
+	p1 := b.MustAddObject(d.Paper, "p1")
+	p2 := b.MustAddObject(d.Paper, "p2")
+	p3 := b.MustAddObject(d.Paper, "p3")
+	sigmod := b.MustAddObject(d.Venue, "SIGMOD")
+	vldb := b.MustAddObject(d.Venue, "VLDB")
+	mining := b.MustAddObject(d.Term, "mining")
+	data := b.MustAddObject(d.Term, "data")
+	y1999 := b.MustAddObject(d.Year, "1999")
+	b.MustAddLink(d.Write, wei1, p1)
+	b.MustAddLink(d.Write, rakesh, p1)
+	b.MustAddLink(d.Write, wei1, p2)
+	b.MustAddLink(d.Write, wei2, p3)
+	b.MustAddLink(d.Publish, sigmod, p1)
+	b.MustAddLink(d.Publish, vldb, p2)
+	b.MustAddLink(d.Publish, vldb, p3)
+	b.MustAddLink(d.Contain, p1, mining)
+	b.MustAddLink(d.Contain, p2, data)
+	b.MustAddLink(d.Contain, p3, data)
+	b.MustAddLink(d.PublishedIn, p1, y1999)
+	g := b.Build()
+
+	docs := &corpus.Corpus{}
+	docs.Add(corpus.NewDocument("d1", "Wei Wang", wei1, []hin.ObjectID{sigmod, mining, rakesh}))
+	docs.Add(corpus.NewDocument("d2", "Wei Wang", wei2, []hin.ObjectID{vldb, data}))
+	docs.Add(corpus.NewDocument("d3", "Rakesh Kumar", rakesh, []hin.ObjectID{sigmod, mining}))
+
+	paths, err := metapath.ParseAll(d.Schema, []string{"A-P-V", "A-P-T", "A-P-A"})
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	cfg := shine.DefaultConfig()
+	cfg.WalkCacheSize = 64
+	m, err := shine.New(g, d.Author, paths, docs, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.SetWeights([]float64{5, 3, 2}); err != nil {
+		t.Fatalf("SetWeights: %v", err)
+	}
+	if err := m.PrecomputeMixtures(); err != nil {
+		t.Fatalf("PrecomputeMixtures: %v", err)
+	}
+	return &fixture{graph: g, docs: docs, model: m}
+}
+
+func encodeFixture(t testing.TB, f *fixture) []byte {
+	t.Helper()
+	data, err := snapshot.Encode(f.model.Parts())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return data
+}
+
+// TestRoundTripBitIdentical is the golden acceptance test: a model
+// restored from its artifact must produce Link output bit-identical
+// to the in-memory model it was written from.
+func TestRoundTripBitIdentical(t *testing.T) {
+	f := newFixture(t)
+	data := encodeFixture(t, f)
+	s, err := snapshot.ReadBytes(data)
+	if err != nil {
+		t.Fatalf("ReadBytes: %v", err)
+	}
+	m2, err := s.Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	for _, doc := range f.docs.Docs {
+		r1, err1 := f.model.Link(doc)
+		r2, err2 := m2.Link(doc)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("doc %s: Link errors %v, %v", doc.ID, err1, err2)
+		}
+		if r1.Entity != r2.Entity {
+			t.Errorf("doc %s: entity %d vs %d after snapshot", doc.ID, r1.Entity, r2.Entity)
+		}
+		if len(r1.Candidates) != len(r2.Candidates) {
+			t.Fatalf("doc %s: %d vs %d candidates", doc.ID, len(r1.Candidates), len(r2.Candidates))
+		}
+		for i := range r1.Candidates {
+			c1, c2 := r1.Candidates[i], r2.Candidates[i]
+			if c1.Entity != c2.Entity {
+				t.Errorf("doc %s cand %d: entity %d vs %d", doc.ID, i, c1.Entity, c2.Entity)
+			}
+			if math.Float64bits(c1.LogJoint) != math.Float64bits(c2.LogJoint) {
+				t.Errorf("doc %s cand %d: log joint %x vs %x — not bit-identical", doc.ID, i,
+					math.Float64bits(c1.LogJoint), math.Float64bits(c2.LogJoint))
+			}
+			if math.Float64bits(c1.Posterior) != math.Float64bits(c2.Posterior) {
+				t.Errorf("doc %s cand %d: posterior %x vs %x — not bit-identical", doc.ID, i,
+					math.Float64bits(c1.Posterior), math.Float64bits(c2.Posterior))
+			}
+		}
+	}
+	// The restored mixture index starts warm: linking above must not
+	// have built a single mixture.
+	if st := m2.MixtureStats(); st.Builds != 0 {
+		t.Errorf("restored model built %d mixtures, index should have loaded warm", st.Builds)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	f := newFixture(t)
+	a, b := encodeFixture(t, f), encodeFixture(t, f)
+	if !bytes.Equal(a, b) {
+		t.Error("two encodes of the same model differ — artifacts must be deterministic")
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	f := newFixture(t)
+	path := filepath.Join(t.TempDir(), "model.snap")
+	info, err := snapshot.WriteFile(path, f.model.Parts())
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	s, err := snapshot.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got := s.Info(); got != info {
+		t.Errorf("Info mismatch:\nwrite: %+v\nread:  %+v", info, got)
+	}
+	if info.Checksum == "" || info.Objects != f.graph.NumObjects() || info.Paths != 3 {
+		t.Errorf("implausible info: %+v", info)
+	}
+	if info.MixtureEntries == 0 {
+		t.Error("no mixture entries persisted despite precompute")
+	}
+	if _, err := s.Model(); err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+}
+
+func TestReadRejectsNewerVersion(t *testing.T) {
+	f := newFixture(t)
+	data := encodeFixture(t, f)
+	binaryPutU32(data[8:], snapshot.FormatVersion+1)
+	_, err := snapshot.ReadBytes(data)
+	if !errors.Is(err, snapshot.ErrNewerVersion) {
+		t.Errorf("newer-version artifact error = %v, want ErrNewerVersion", err)
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	f := newFixture(t)
+	data := encodeFixture(t, f)
+	for _, cut := range []int{0, 7, 15, len(data) / 4, len(data) / 2, len(data) - 1} {
+		if _, err := snapshot.ReadBytes(data[:cut]); err == nil {
+			t.Errorf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsBitFlips(t *testing.T) {
+	f := newFixture(t)
+	data := encodeFixture(t, f)
+	// Flip one byte in every region: magic, version, table, payloads.
+	for _, pos := range []int{0, 9, 20, len(data) / 3, len(data) / 2, len(data) - 1} {
+		corrupted := append([]byte(nil), data...)
+		corrupted[pos] ^= 0xFF
+		if _, err := snapshot.ReadBytes(corrupted); err == nil {
+			t.Errorf("bit flip at %d accepted", pos)
+		}
+	}
+}
+
+// TestReadRejectsReorderedSections swaps two section table entries
+// (fixing the table CRC so only the ordering is wrong) — the reader
+// must reject a shuffled table, not silently decode sections in the
+// wrong roles.
+func TestReadRejectsReorderedSections(t *testing.T) {
+	f := newFixture(t)
+	data := encodeFixture(t, f)
+	const headerLen, entryLen = 16, 28
+	count := int(leU32(data[12:]))
+	if count < 2 {
+		t.Fatal("artifact has fewer than 2 sections")
+	}
+	e0 := headerLen
+	e1 := headerLen + entryLen
+	tmp := make([]byte, entryLen)
+	copy(tmp, data[e0:e0+entryLen])
+	copy(data[e0:e0+entryLen], data[e1:e1+entryLen])
+	copy(data[e1:e1+entryLen], tmp)
+	tableEnd := headerLen + entryLen*count
+	binaryPutU32(data[tableEnd:], crc32.ChecksumIEEE(data[headerLen:tableEnd]))
+	if _, err := snapshot.ReadBytes(data); err == nil {
+		t.Error("reordered section table accepted")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := snapshot.ReadFile(filepath.Join(t.TempDir(), "nope.snap")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	f := newFixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.snap")
+	if _, err := snapshot.WriteFile(path, f.model.Parts()); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	// Overwrite with a second snapshot; no temp debris may remain.
+	if _, err := snapshot.WriteFile(path, f.model.Parts()); err != nil {
+		t.Fatalf("WriteFile (overwrite): %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.snap" {
+		t.Errorf("directory not clean after atomic writes: %v", entries)
+	}
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func binaryPutU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}

@@ -3,6 +3,7 @@ package sparse
 import (
 	"cmp"
 	"fmt"
+	"math"
 	"slices"
 	"strings"
 	"sync"
@@ -187,6 +188,38 @@ func compareTopEntries(a, b Entry) int {
 // Indices returns a copy of the stored indices in ascending order.
 func (d Dist) Indices() []int32 {
 	return append([]int32(nil), d.idx...)
+}
+
+// Raw exposes the backing arrays: strictly ascending indices and
+// their values. Both slices are shared with the Dist and must not be
+// modified — this is the zero-copy accessor binary snapshot writers
+// iterate.
+func (d Dist) Raw() (idx []int32, val []float64) {
+	return d.idx, d.val
+}
+
+// NewDistFromRaw adopts pre-built index/value arrays as a Dist without
+// copying, after validating the Dist invariants: equal lengths,
+// strictly ascending indices, no stored zeros and no non-finite
+// values. The slices are retained and must not be modified afterwards.
+// This is the snapshot load path: a deserialised artifact becomes a
+// servable distribution in one O(n) validation pass.
+func NewDistFromRaw(idx []int32, val []float64) (Dist, error) {
+	if len(idx) != len(val) {
+		return Dist{}, fmt.Errorf("sparse: %d indices for %d values", len(idx), len(val))
+	}
+	for k, i := range idx {
+		if k > 0 && idx[k-1] >= i {
+			return Dist{}, fmt.Errorf("sparse: indices not strictly ascending at position %d (%d after %d)", k, i, idx[k-1])
+		}
+		if i < 0 {
+			return Dist{}, fmt.Errorf("sparse: negative index %d at position %d", i, k)
+		}
+		if x := val[k]; x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return Dist{}, fmt.Errorf("sparse: invalid stored value %v at position %d", x, k)
+		}
+	}
+	return Dist{idx: idx, val: val}, nil
 }
 
 // Equal reports whether d and e agree entry-wise within tol.

@@ -7,11 +7,24 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 go test -race ./...
-# Smoke the serving-path and offline-pipeline benchmarks (one
-# iteration each) so they cannot rot between perf PRs; real numbers
-# live in BENCH_link.json and BENCH_offline.json.
-go test -run=NONE -bench='Link|PageRank|Build' -benchtime=1x .
+# Smoke the serving-path, offline-pipeline and snapshot benchmarks
+# (one iteration each) so they cannot rot between perf PRs; real
+# numbers live in BENCH_link.json, BENCH_offline.json and
+# BENCH_snapshot.json.
+go test -run=NONE -bench='Link|PageRank|Build|Snapshot' -benchtime=1x .
 # Route/metrics contract guard: every /v1 route answers wrong methods
 # with 405 + Allow, and the request-lifecycle series are present in
 # the /metrics exposition from the first scrape.
 go test -race -run 'TestMethodEnforcement|TestMetricsLifecycleSeries' ./internal/server/
+# Snapshot artifact fuzz smoke: five seconds of mutated-input reads —
+# the reader must never panic or over-allocate on hostile headers.
+go test -fuzz=FuzzReadBytes -fuzztime=5s -run=FuzzReadBytes ./internal/snapshot/
+# Snapshot CLI round trip: build an artifact from a generated dataset,
+# inspect it, and link from it — the binary boot path end to end.
+SNAPTMP=$(mktemp -d)
+trap 'rm -rf "$SNAPTMP"' EXIT
+go build -o "$SNAPTMP/shine" ./cmd/shine
+"$SNAPTMP/shine" gen -graph "$SNAPTMP/g.hin" -docs "$SNAPTMP/d.json" -seed 7 -authors 40 -numdocs 20
+"$SNAPTMP/shine" snapshot build -graph "$SNAPTMP/g.hin" -docs "$SNAPTMP/d.json" -out "$SNAPTMP/m.snap"
+"$SNAPTMP/shine" snapshot inspect "$SNAPTMP/m.snap"
+"$SNAPTMP/shine" link -snapshot "$SNAPTMP/m.snap" -docs "$SNAPTMP/d.json" | tail -1
