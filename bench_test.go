@@ -29,10 +29,12 @@ import (
 	"shine/internal/experiments"
 	"shine/internal/hin"
 	"shine/internal/metapath"
+	"shine/internal/namematch"
 	"shine/internal/pagerank"
 	"shine/internal/server"
 	"shine/internal/shine"
 	"shine/internal/snapshot"
+	"shine/internal/surftrie"
 	"shine/internal/synth"
 )
 
@@ -766,6 +768,78 @@ func BenchmarkSnapshotWrite(b *testing.B) {
 		if _, err := snapshot.Encode(m.Parts()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ------------------------------------------------------ candidate index
+
+// benchMentions cycles the quick corpus's mention surface forms, the
+// realistic lookup workload.
+func benchMentions(b *testing.B, e *experiments.Env) []string {
+	b.Helper()
+	out := make([]string, e.DS.Corpus.Len())
+	for i, doc := range e.DS.Corpus.Docs {
+		out[i] = doc.Mention
+	}
+	return out
+}
+
+// BenchmarkCandidatesMap measures exact candidate lookup on the
+// hash-blocked brute-force reference index (namematch.Index) — the
+// baseline BENCH_candidates.json contrasts the trie against.
+func BenchmarkCandidatesMap(b *testing.B) {
+	e := benchEnv(b)
+	idx, err := namematch.BuildIndex(e.DS.Data.Graph, e.DS.Data.Schema.Author)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mentions := benchMentions(b, e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(idx.Candidates(mentions[i%len(mentions)])) == 0 {
+			b.Fatal("corpus mention with no candidates")
+		}
+	}
+}
+
+// BenchmarkCandidatesTrie measures the same workload on the
+// path-compressed surface trie, the production candidate source.
+func BenchmarkCandidatesTrie(b *testing.B) {
+	e := benchEnv(b)
+	trie, err := surftrie.Build(e.DS.Data.Graph, e.DS.Data.Schema.Author)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mentions := benchMentions(b, e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(trie.Candidates(mentions[i%len(mentions)])) == 0 {
+			b.Fatal("corpus mention with no candidates")
+		}
+	}
+}
+
+// BenchmarkCandidatesFuzzy measures the edit-distance-2 Levenshtein
+// row-walk over noisy mentions (each corpus mention with its last byte
+// corrupted), the OCR-fallback cost ceiling.
+func BenchmarkCandidatesFuzzy(b *testing.B) {
+	e := benchEnv(b)
+	trie, err := surftrie.Build(e.DS.Data.Graph, e.DS.Data.Schema.Author)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mentions := benchMentions(b, e)
+	for i, m := range mentions {
+		if len(m) > 1 {
+			mentions[i] = m[:len(m)-1] + "~"
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trie.FuzzyCandidates(mentions[i%len(mentions)], surftrie.MaxDistance)
 	}
 }
 

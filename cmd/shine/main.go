@@ -108,11 +108,13 @@ Commands:
   paths  [-maxlen N] [-enumerate]
          Show the paper's meta-path set (Table 3), or enumerate all
          author-rooted meta-paths up to -maxlen by schema BFS.
-  link   -graph FILE -docs FILE [-model FILE] [-snapshot FILE] [-theta F] [-uniform-pop] [-no-learn] [-top N] [-workers N]
+  link   -graph FILE -docs FILE [-model FILE] [-snapshot FILE] [-theta F] [-uniform-pop] [-no-learn] [-top N] [-workers N] [-fuzzy N]
          Ingest the documents, learn meta-path weights by EM (or load a
          trained model), link every mention and report accuracy.
          -snapshot skips -graph/-model and restores the whole model
-         from a binary artifact.
+         from a binary artifact. -fuzzy N retries mentions with no
+         exact candidates at edit distance ≤ N (max 2) against the
+         surface-form trie — for noisy OCR-style input.
   train  -graph FILE -docs FILE -model FILE [-snapshot FILE] [-theta F] [-uniform-pop] [-workers N]
          Learn meta-path weights by EM and save the trained model.
          -snapshot additionally writes the binary artifact servers
@@ -126,7 +128,7 @@ Commands:
   serve  -graph FILE -docs FILE [-model FILE] [-snapshot FILE]
          [-addr :8080] [-nil-prior F] [-metrics=true] [-pprof]
          [-drain 10s] [-workers N] [-timeout D] [-max-inflight N]
-         [-max-queue N]
+         [-max-queue N] [-fuzzy N]
          Serve the model over HTTP: /v1/link, /v1/annotate,
          /v1/explain, /v1/entity, /v1/healthz, /v1/readyz, plus
          Prometheus metrics at /metrics and optional /debug/pprof
@@ -136,7 +138,9 @@ Commands:
          before exiting. -snapshot boots from a binary artifact
          (no -graph/-docs needed) and enables zero-downtime hot
          swaps: SIGHUP or POST /v1/admin/reload re-reads the
-         artifact and atomically swaps the serving model.
+         artifact and atomically swaps the serving model. -fuzzy N
+         enables edit-distance candidate fallback on the serving
+         endpoints and /v1/candidates?fuzzy=1 (survives hot swaps).
   snapshot build   -graph FILE -docs FILE [-model FILE] [-precompute] -out FILE
          Package a model (trained via -model, or learned on the
          spot) into a versioned, checksummed binary artifact that
@@ -416,6 +420,7 @@ func cmdLink(args []string) error {
 	top := fs.Int("top", 0, "print the top-N candidate posteriors per mention")
 	workers := fs.Int("workers", 0, "offline-pipeline and training worker goroutines (0 = GOMAXPROCS)")
 	precompute := fs.Bool("precompute", false, "eagerly build the frozen entity-mixture index before linking")
+	fuzzy := fs.Int("fuzzy", 0, "fall back to edit-distance-N candidate retrieval when the exact rules find none (0 = off, max 2)")
 	fs.Parse(args)
 
 	if *snapPath != "" {
@@ -427,6 +432,9 @@ func cmdLink(args []string) error {
 		}
 		m, err := snap.Model()
 		if err != nil {
+			return err
+		}
+		if err := m.SetFuzzyDistance(*fuzzy); err != nil {
 			return err
 		}
 		fmt.Printf("loaded %s\n", snap.Info())
@@ -491,6 +499,9 @@ func cmdLink(args []string) error {
 		}
 	}
 
+	if err := m.SetFuzzyDistance(*fuzzy); err != nil {
+		return err
+	}
 	if *precompute {
 		start := time.Now()
 		if err := m.PrecomputeMixtures(); err != nil {
@@ -693,6 +704,7 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-request deadline for model-serving endpoints (0 = none)")
 	maxInFlight := fs.Int("max-inflight", 0, "cap on concurrently executing model-serving requests; excess is queued then shed with 429 (0 = unlimited)")
 	maxQueued := fs.Int("max-queue", 0, "admission wait-queue depth when -max-inflight is set (0 = same as -max-inflight, negative = no queue)")
+	fuzzy := fs.Int("fuzzy", 0, "fall back to edit-distance-N candidate retrieval when the exact rules find none (0 = off, max 2)")
 	fs.Parse(args)
 
 	// One registry for the whole process, wired before learning so a
@@ -766,6 +778,7 @@ func cmdServe(args []string) error {
 		NoMetricsEndpoint: !*metricsOn,
 		Pprof:             *pprofOn,
 		Precompute:        *precompute,
+		FuzzyDistance:     *fuzzy,
 		RequestTimeout:    *timeout,
 		MaxInFlight:       *maxInFlight,
 		MaxQueued:         *maxQueued,

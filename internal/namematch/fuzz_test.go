@@ -1,0 +1,55 @@
+package namematch
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the name parser with arbitrary bytes and checks its
+// invariants: parsing never panics, is deterministic, produces
+// lowercase parts whose tokens carry no trailing periods, and every
+// non-empty parse matches itself under both rule sets (the property
+// candidate indexing depends on — an entity must be findable by its
+// own surface form).
+func FuzzParse(f *testing.F) {
+	f.Add("Wei Wang")
+	f.Add("Muntz, Richard R.")
+	f.Add("Wei Wang 0010")
+	f.Add("José García-López")
+	f.Add("Élodie É. Durand")
+	f.Add("Jan Van Der Berg")
+	f.Add("Wang,")
+	f.Add(",")
+	f.Add("... 0003")
+	f.Add("O'Brien, Sø")
+	f.Add("\xc3\x28 broken utf8")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		n := Parse(s)
+		if again := Parse(s); again != n {
+			t.Fatalf("Parse(%q) not deterministic: %+v vs %+v", s, n, again)
+		}
+		if n.IsEmpty() {
+			return
+		}
+		if !n.Matches(n) {
+			t.Fatalf("Parse(%q) = %+v does not match itself", s, n)
+		}
+		if !n.MatchesLoose(n) {
+			t.Fatalf("Parse(%q) = %+v does not loose-match itself", s, n)
+		}
+		for _, part := range []string{n.First, n.Middle, n.Last} {
+			if part != strings.ToLower(part) {
+				t.Fatalf("Parse(%q): part %q not lowercase", s, part)
+			}
+			for _, tok := range strings.Fields(part) {
+				if strings.HasSuffix(tok, ".") {
+					t.Fatalf("Parse(%q): token %q keeps a trailing period", s, tok)
+				}
+			}
+		}
+		if strings.Count(n.Key(), "\x00") < 1 {
+			t.Fatalf("Parse(%q): key %q lost its separator", s, n.Key())
+		}
+	})
+}

@@ -1,8 +1,9 @@
 package namematch
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"shine/internal/hin"
 )
@@ -60,8 +61,7 @@ func (idx *Index) Candidates(mention string) []hin.ObjectID {
 			out = append(out, cand.entity)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return sortedUnique(out)
 }
 
 // LooseCandidates extends Candidates with first-initial matching
@@ -79,8 +79,17 @@ func (idx *Index) LooseCandidates(mention string) []hin.ObjectID {
 			out = append(out, cand.entity)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return sortedUnique(out)
+}
+
+// sortedUnique sorts ascending and drops duplicate IDs, so an entity
+// indexed under colliding normalized keys still appears once.
+func sortedUnique(ids []hin.ObjectID) []hin.ObjectID {
+	if len(ids) == 0 {
+		return ids
+	}
+	slices.Sort(ids)
+	return slices.Compact(ids)
 }
 
 // AmbiguousNames returns, for each (first, last) key shared by at
@@ -102,11 +111,11 @@ func (idx *Index) AmbiguousNames(minEntities int) []AmbiguousName {
 		}
 		out = append(out, AmbiguousName{Surface: surface, Count: len(group)})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
+	slices.SortFunc(out, func(a, b AmbiguousName) int {
+		if a.Count != b.Count {
+			return cmp.Compare(b.Count, a.Count)
 		}
-		return out[i].Surface < out[j].Surface
+		return cmp.Compare(a.Surface, b.Surface)
 	})
 	return out
 }

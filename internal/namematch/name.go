@@ -18,6 +18,7 @@ package namematch
 
 import (
 	"strings"
+	"unicode/utf8"
 )
 
 // Name is a parsed personal name.
@@ -141,10 +142,14 @@ func initialOf(a, b string) bool {
 		return false
 	}
 	for i := range at {
-		if len(at[i]) != 1 {
-			return false
+		// Compare first runes, not first bytes: "é" is a single-rune
+		// initial of "élodie" even though it is two bytes long.
+		ar, size := utf8.DecodeRuneInString(at[i])
+		if size != len(at[i]) {
+			return false // a's token is more than one rune: not an initial
 		}
-		if at[i][0] != bt[i][0] {
+		br, _ := utf8.DecodeRuneInString(bt[i])
+		if ar != br {
 			return false
 		}
 	}

@@ -77,6 +77,28 @@ func TestMatchesMultiTokenInitials(t *testing.T) {
 	}
 }
 
+// TestMatchesUnicodeInitial is the regression test for the
+// byte-vs-rune bug in initialOf: a single-rune initial like "É." is
+// two bytes long, and the old length-based check rejected it.
+func TestMatchesUnicodeInitial(t *testing.T) {
+	a := Parse("Élodie É. Durand")
+	b := Parse("Élodie Éliane Durand")
+	if !a.Matches(b) || !b.Matches(a) {
+		t.Error("non-ASCII middle initial rejected")
+	}
+	if !Parse("É. Durand").MatchesLoose(Parse("Élodie Durand")) {
+		t.Error("non-ASCII first initial rejected in loose mode")
+	}
+	// A wrong initial must still be rejected, and a multi-rune token is
+	// never an initial.
+	if Parse("Élodie Ó. Durand").Matches(Parse("Élodie Éliane Durand")) {
+		t.Error("conflicting non-ASCII initials matched")
+	}
+	if Parse("Él. Durand").MatchesLoose(Parse("Élodie Durand")) {
+		t.Error("two-rune token treated as an initial")
+	}
+}
+
 func TestKeyBlocksOnFirstAndLast(t *testing.T) {
 	if Parse("Wei Wang").Key() != Parse("Wei X. Wang").Key() {
 		t.Error("middle name changed the blocking key")

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestCandidatesFuzzyEndpoint: /v1/candidates?fuzzy=1 serves the
+// edit-distance block for noisy mentions, is mutually exclusive with
+// loose=1, and reports itself in the response.
+func TestCandidatesFuzzyEndpoint(t *testing.T) {
+	s, _ := testServer(t, Options{FuzzyDistance: 1})
+	get := func(q string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, q, nil)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		return w
+	}
+	// "Wei Wing" is one edit from "Wei Wang": invisible to the strict
+	// rules, found by the fuzzy walk.
+	w := get("/v1/candidates?mention=Wei+Wing")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp candidatesResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 0 {
+		t.Errorf("strict lookup of a noisy mention found %+v", resp.Candidates)
+	}
+	w = get("/v1/candidates?mention=Wei+Wing&fuzzy=1")
+	if w.Code != http.StatusOK {
+		t.Fatalf("fuzzy status %d: %s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 2 || !resp.Fuzzy {
+		t.Errorf("fuzzy candidates = %+v", resp)
+	}
+	if w := get("/v1/candidates?mention=Wei+Wing&loose=1&fuzzy=1"); w.Code != http.StatusBadRequest {
+		t.Errorf("loose+fuzzy: status %d, want 400", w.Code)
+	}
+}
+
+// TestCandidatesFuzzyDefaultDistance: with no -fuzzy flag the endpoint
+// still answers fuzzy=1 queries at the maximum supported distance —
+// the flag only changes the implicit serving-path fallback.
+func TestCandidatesFuzzyDefaultDistance(t *testing.T) {
+	s, _ := testServer(t, Options{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/candidates?mention=Wei+Wnng&fuzzy=1", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp candidatesResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 2 {
+		t.Errorf("fuzzy candidates = %+v", resp)
+	}
+}

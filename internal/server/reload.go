@@ -107,6 +107,11 @@ func (s *Server) loadGeneration() (snapshot.Info, *serving, error) {
 	if err != nil {
 		return snapshot.Info{}, nil, fmt.Errorf("server: materialising snapshot %s: %w", s.snapshotPath, err)
 	}
+	// FuzzyDistance is an execution knob excluded from artifacts;
+	// reapply it so -fuzzy survives the hot swap.
+	if err := m.SetFuzzyDistance(s.fuzzyDistance); err != nil {
+		return snapshot.Info{}, nil, fmt.Errorf("server: %w", err)
+	}
 	if s.precompute {
 		if err := m.PrecomputeMixtures(); err != nil {
 			return snapshot.Info{}, nil, fmt.Errorf("server: precomputing mixtures: %w", err)

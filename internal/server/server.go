@@ -8,7 +8,7 @@
 //	POST /v1/link        {"mention": "...", "text": "..."}      -> linking result
 //	POST /v1/annotate    {"text": "..."}                        -> annotations
 //	POST /v1/explain     {"mention": "...", "text": "..."}      -> evidence breakdown
-//	GET  /v1/candidates?mention=NAME[&loose=1]                  -> candidate entities
+//	GET  /v1/candidates?mention=NAME[&loose=1|&fuzzy=1]         -> candidate entities
 //	GET  /v1/entity?id=N                                        -> entity card
 //	GET  /v1/healthz                                            -> liveness
 //	GET  /v1/readyz                                             -> readiness
@@ -44,10 +44,10 @@ import (
 	"shine/internal/annotate"
 	"shine/internal/corpus"
 	"shine/internal/hin"
-	"shine/internal/namematch"
 	"shine/internal/obs"
 	"shine/internal/shine"
 	"shine/internal/snapshot"
+	"shine/internal/surftrie"
 )
 
 // serving is one immutable generation of the serving state: the
@@ -60,8 +60,11 @@ type serving struct {
 	model     *shine.Model
 	ingester  *corpus.Ingester
 	annotator *annotate.Annotator
-	// looseIndex answers /v1/candidates with first-initial matching.
-	looseIndex *namematch.Index
+	// cands answers /v1/candidates — exact, loose (first-initial) and,
+	// when the source supports it, fuzzy retrieval. Usually the
+	// model's own trie; a separate index only when Options.EntityType
+	// overrides the model's entity type.
+	cands shine.CandidateSource
 	// snapInfo identifies the snapshot artifact this generation was
 	// loaded from; nil when the model was built in-process.
 	snapInfo *snapshot.Info
@@ -81,6 +84,9 @@ type Server struct {
 	entityTypeOpt hin.TypeID
 	minPosterior float64
 	precompute   bool
+	// fuzzyDistance is the serving-path fuzzy fallback distance; it is
+	// reapplied to every hot-swapped model so -fuzzy survives reloads.
+	fuzzyDistance int
 	// snapshotPath, when set, is the artifact POST /v1/admin/reload
 	// (and SIGHUP in the CLI) reloads from.
 	snapshotPath string
@@ -140,6 +146,13 @@ type Options struct {
 	// /debug/pprof/. Off by default: profiles expose internals, so a
 	// deployment opts in explicitly.
 	Pprof bool
+	// FuzzyDistance, when positive, enables the fuzzy candidate
+	// fallback on the model-serving endpoints: mentions whose exact
+	// candidate set is empty are retried against the surface-form trie
+	// at this edit distance (max surftrie.MaxDistance). It also sets
+	// the distance /v1/candidates?fuzzy=1 retrieves at, and is
+	// reapplied after every hot swap.
+	FuzzyDistance int
 	// Precompute eagerly builds the model's frozen entity-mixture
 	// index before the server accepts traffic, so no request ever pays
 	// meta-path walk latency. Adds startup time proportional to the
@@ -189,11 +202,18 @@ func buildServing(m *shine.Model, ingestCfg corpus.IngestConfig, entityTypeOpt h
 		}
 		entityType = paths[0].StartType(m.Graph().Schema())
 	}
-	idx, err := namematch.BuildIndex(m.Graph(), entityType)
-	if err != nil {
-		return nil, fmt.Errorf("server: indexing entity names: %w", err)
+	// The model already carries a frozen trie over its own entity
+	// type; only an explicit override to a different type needs a
+	// separate index.
+	cands := m.CandidateSource()
+	if entityType != m.EntityType() {
+		trie, err := surftrie.Build(m.Graph(), entityType)
+		if err != nil {
+			return nil, fmt.Errorf("server: indexing entity names: %w", err)
+		}
+		cands = trie
 	}
-	return &serving{model: m, ingester: ing, annotator: ann, looseIndex: idx, snapInfo: snapInfo}, nil
+	return &serving{model: m, ingester: ing, annotator: ann, cands: cands, snapInfo: snapInfo}, nil
 }
 
 // New builds a server over a (typically trained) model.
@@ -203,6 +223,9 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 	}
 	if opts.NILPrior < 0 || opts.NILPrior >= 1 {
 		return nil, fmt.Errorf("server: NIL prior %v outside [0, 1)", opts.NILPrior)
+	}
+	if err := m.SetFuzzyDistance(opts.FuzzyDistance); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	sv, err := buildServing(m, ingestCfg, opts.EntityType, opts.MinPosterior, opts.SnapshotInfo)
 	if err != nil {
@@ -221,6 +244,7 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 		entityTypeOpt:  opts.EntityType,
 		minPosterior:   opts.MinPosterior,
 		precompute:     opts.Precompute,
+		fuzzyDistance:  opts.FuzzyDistance,
 		snapshotPath:   opts.SnapshotPath,
 		maxBodyBytes:   opts.MaxBodyBytes,
 		nilPrior:       opts.NILPrior,
@@ -516,6 +540,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 type candidatesResponse struct {
 	Mention    string           `json:"mention"`
 	Loose      bool             `json:"loose"`
+	Fuzzy      bool             `json:"fuzzy,omitempty"`
 	Candidates []entityResponse `json:"candidates"`
 }
 
@@ -526,15 +551,32 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	loose := r.URL.Query().Get("loose") == "1"
+	fuzzy := r.URL.Query().Get("fuzzy") == "1"
+	if loose && fuzzy {
+		httpError(w, http.StatusBadRequest, "loose and fuzzy are mutually exclusive")
+		return
+	}
 	sv := s.serving.Load()
 	var cands []hin.ObjectID
-	if loose {
-		cands = sv.looseIndex.LooseCandidates(mention)
-	} else {
-		cands = sv.looseIndex.Candidates(mention)
+	switch {
+	case fuzzy:
+		fz, ok := sv.cands.(shine.FuzzyCandidateSource)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "candidate source does not support fuzzy retrieval")
+			return
+		}
+		dist := s.fuzzyDistance
+		if dist <= 0 {
+			dist = surftrie.MaxDistance
+		}
+		cands = fz.FuzzyCandidates(mention, dist)
+	case loose:
+		cands = sv.cands.LooseCandidates(mention)
+	default:
+		cands = sv.cands.Candidates(mention)
 	}
 	g := sv.model.Graph()
-	resp := candidatesResponse{Mention: mention, Loose: loose, Candidates: []entityResponse{}}
+	resp := candidatesResponse{Mention: mention, Loose: loose, Fuzzy: fuzzy, Candidates: []entityResponse{}}
 	for _, e := range cands {
 		resp.Candidates = append(resp.Candidates, entityResponse{
 			Entity:     int32(e),

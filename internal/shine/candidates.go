@@ -1,0 +1,104 @@
+package shine
+
+import (
+	"fmt"
+	"time"
+
+	"shine/internal/hin"
+	"shine/internal/surftrie"
+)
+
+// CandidateSource generates candidate entities for a mention surface
+// form. Both methods return freshly allocated slices in ascending ID
+// order with no duplicates. The production implementation is
+// surftrie.Trie; namematch.Index is the brute-force reference the
+// test harness holds it against.
+type CandidateSource interface {
+	// Candidates applies the paper's Section 5.1 exact rules.
+	Candidates(mention string) []hin.ObjectID
+	// LooseCandidates extends Candidates with first-initial matching
+	// for citation-style mentions ("W. Wang" finds every "Wei Wang").
+	LooseCandidates(mention string) []hin.ObjectID
+}
+
+// FuzzyCandidateSource is a CandidateSource that can additionally
+// retrieve by bounded edit distance, for noisy OCR-style mentions.
+// FuzzyCandidates(m, d) must be a superset of Candidates(m) for every
+// d ≥ 0.
+type FuzzyCandidateSource interface {
+	CandidateSource
+	FuzzyCandidates(mention string, dist int) []hin.ObjectID
+}
+
+// Statically bind the contract both implementations are tested
+// against.
+var _ FuzzyCandidateSource = (*surftrie.Trie)(nil)
+
+// CandidateSource returns the model's candidate generator.
+func (m *Model) CandidateSource() CandidateSource { return m.cands }
+
+// SetCandidateSource replaces the model's candidate generator —
+// primarily a testing seam for running the serving path against the
+// brute-force namematch oracle. Like SetGeneric, it must not race
+// with concurrent Link calls.
+func (m *Model) SetCandidateSource(s CandidateSource) {
+	m.cands = s
+	m.trie, _ = s.(*surftrie.Trie)
+}
+
+// Trie returns the model's surface-form trie, or nil when a custom
+// candidate source was installed. The snapshot encoder persists it so
+// restored models skip the rebuild.
+func (m *Model) Trie() *surftrie.Trie { return m.trie }
+
+// LooseCandidates returns the first-initial candidate set for a
+// mention. The slice is freshly allocated and owned by the caller.
+func (m *Model) LooseCandidates(mention string) []hin.ObjectID {
+	return m.cands.LooseCandidates(mention)
+}
+
+// FuzzyCandidates returns the bounded-edit-distance candidate set for
+// a mention, or nil when the model's candidate source cannot do fuzzy
+// retrieval.
+func (m *Model) FuzzyCandidates(mention string, dist int) []hin.ObjectID {
+	fz, ok := m.cands.(FuzzyCandidateSource)
+	if !ok {
+		return nil
+	}
+	return fz.FuzzyCandidates(mention, dist)
+}
+
+// SetFuzzyDistance sets the serving-path fuzzy fallback distance (see
+// Config.FuzzyDistance); 0 disables the fallback. Must not race with
+// concurrent Link calls.
+func (m *Model) SetFuzzyDistance(dist int) error {
+	if dist < 0 || dist > surftrie.MaxDistance {
+		return fmt.Errorf("shine: FuzzyDistance %d outside [0, %d]", dist, surftrie.MaxDistance)
+	}
+	m.cfg.FuzzyDistance = dist
+	return nil
+}
+
+// lookupCandidates is the serving-path candidate lookup: the exact
+// rules first, then — only when they come up empty, fuzzy fallback is
+// enabled, and the source supports it — a bounded-edit-distance
+// retrieval. Training (prepareCorpus) deliberately bypasses this and
+// stays strict, so EM sees the paper's candidate sets regardless of
+// serving knobs.
+func (m *Model) lookupCandidates(mention string) []hin.ObjectID {
+	mm := m.metrics
+	var start time.Time
+	if mm != nil {
+		start = time.Now()
+	}
+	out := m.cands.Candidates(mention)
+	fuzzy := false
+	if len(out) == 0 && m.cfg.FuzzyDistance > 0 {
+		if fz, ok := m.cands.(FuzzyCandidateSource); ok {
+			out = fz.FuzzyCandidates(mention, m.cfg.FuzzyDistance)
+			fuzzy = true
+		}
+	}
+	mm.observeCandidates(start, fuzzy)
+	return out
+}

@@ -65,7 +65,7 @@ type PathImportance struct {
 // runner-up are fixed by the full model; paths are then removed one
 // at a time.
 func (m *Model) ExplainPaths(doc *corpus.Document) ([]PathImportance, error) {
-	cands := m.index.Candidates(doc.Mention)
+	cands := m.lookupCandidates(doc.Mention)
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("%w: %q", ErrNoCandidates, doc.Mention)
 	}
@@ -128,7 +128,7 @@ func (m *Model) Explain(doc *corpus.Document) (Explanation, error) {
 // cancellation points as LinkContext: between candidates and between
 // walk hops.
 func (m *Model) ExplainContext(ctx context.Context, doc *corpus.Document) (Explanation, error) {
-	cands := m.index.Candidates(doc.Mention)
+	cands := m.lookupCandidates(doc.Mention)
 	if len(cands) == 0 {
 		return Explanation{}, fmt.Errorf("%w: %q", ErrNoCandidates, doc.Mention)
 	}

@@ -66,6 +66,16 @@ const (
 	// MetricMixtureInvalidations counts full index flushes (weight
 	// installs, rebinds).
 	MetricMixtureInvalidations = "shine_mixture_invalidations_total"
+	// MetricCandidatesLookups counts serving-path candidate lookups
+	// (one per linked/explained mention).
+	MetricCandidatesLookups = "shine_candidates_lookups_total"
+	// MetricCandidatesFuzzy counts lookups that fell back to
+	// bounded-edit-distance retrieval after the exact rules came up
+	// empty.
+	MetricCandidatesFuzzy = "shine_candidates_fuzzy_total"
+	// MetricCandidatesSeconds is the candidate-lookup latency
+	// histogram, fuzzy fallback included.
+	MetricCandidatesSeconds = "shine_candidates_seconds"
 )
 
 // candidateBuckets bound the candidate-set-size histogram; ambiguity
@@ -88,6 +98,9 @@ type modelMetrics struct {
 	emLogLik       *obs.Gauge
 	prSeconds      *obs.Gauge
 	prIterations   *obs.Gauge
+	candLookups    *obs.Counter
+	candFuzzy      *obs.Counter
+	candSeconds    *obs.Histogram
 }
 
 // SetMetrics instruments the model against a registry: link latency,
@@ -120,6 +133,9 @@ func (m *Model) SetMetrics(reg *obs.Registry) {
 		emLogLik:       reg.Gauge(MetricEMLogLikelihood),
 		prSeconds:      reg.Gauge(MetricPageRankSeconds),
 		prIterations:   reg.Gauge(MetricPageRankIterations),
+		candLookups:    reg.Counter(MetricCandidatesLookups),
+		candFuzzy:      reg.Counter(MetricCandidatesFuzzy),
+		candSeconds:    reg.Histogram(MetricCandidatesSeconds, nil),
 	}
 	// The offline PageRank ran during construction, before any
 	// registry was attached; publish the recorded run so the gauges
@@ -167,6 +183,19 @@ func (mm *modelMetrics) observeLink(start time.Time, res Result, err error) {
 	mm.linkCandidates.Observe(float64(len(res.Candidates)))
 	if res.Entity == hin.NoObject {
 		mm.linkNIL.Inc()
+	}
+}
+
+// observeCandidates records one serving-path candidate lookup. Safe
+// on a nil receiver.
+func (mm *modelMetrics) observeCandidates(start time.Time, fuzzy bool) {
+	if mm == nil {
+		return
+	}
+	mm.candLookups.Inc()
+	mm.candSeconds.ObserveSince(start)
+	if fuzzy {
+		mm.candFuzzy.Inc()
 	}
 }
 

@@ -12,8 +12,8 @@ import (
 	"shine/internal/corpus"
 	"shine/internal/hin"
 	"shine/internal/metapath"
-	"shine/internal/namematch"
 	"shine/internal/pagerank"
+	"shine/internal/surftrie"
 )
 
 // ErrNoCandidates is returned by Link when a mention's surface form
@@ -57,8 +57,13 @@ type Model struct {
 	// SetMetrics and refreshed by Rebind.
 	prSeconds    float64
 	prIterations int
-	index        *namematch.Index
-	walker       *metapath.Walker
+	// cands generates candidate entities; by default the surface-form
+	// trie in trie, but replaceable via SetCandidateSource. trie keeps
+	// the concrete pointer for snapshotting and is nil when a custom
+	// source is installed.
+	cands  CandidateSource
+	trie   *surftrie.Trie
+	walker *metapath.Walker
 	generic      *corpus.GenericModel
 	// metrics, when non-nil, instruments link and EM hot paths; see
 	// SetMetrics.
@@ -93,7 +98,7 @@ func New(g *hin.Graph, entityType hin.TypeID, paths []metapath.Path, docs *corpu
 		return nil, err
 	}
 
-	idx, err := namematch.BuildIndex(g, entityType)
+	trie, err := surftrie.Build(g, entityType)
 	if err != nil {
 		return nil, fmt.Errorf("shine: indexing entity names: %w", err)
 	}
@@ -111,7 +116,8 @@ func New(g *hin.Graph, entityType hin.TypeID, paths []metapath.Path, docs *corpu
 		popularity:   pop,
 		prSeconds:    prSeconds,
 		prIterations: prIters,
-		index:        idx,
+		cands:        trie,
+		trie:         trie,
 		walker:       metapath.NewWalker(g, cfg.WalkCacheSize),
 		generic:      gen,
 	}
@@ -153,6 +159,9 @@ func computePopularity(g *hin.Graph, entityType hin.TypeID, cfg Config) (map[hin
 
 // Graph returns the model's network.
 func (m *Model) Graph() *hin.Graph { return m.graph }
+
+// EntityType returns the type of the entities the model links to.
+func (m *Model) EntityType() hin.TypeID { return m.entityType }
 
 // Paths returns the meta-path set (shared; do not modify).
 func (m *Model) Paths() []metapath.Path { return m.paths }
@@ -229,7 +238,7 @@ func (m *Model) Rebind(g *hin.Graph) error {
 	if err != nil {
 		return err
 	}
-	idx, err := namematch.BuildIndex(g, m.entityType)
+	trie, err := surftrie.Build(g, m.entityType)
 	if err != nil {
 		return fmt.Errorf("shine: reindexing entity names: %w", err)
 	}
@@ -237,7 +246,8 @@ func (m *Model) Rebind(g *hin.Graph) error {
 	m.popularity = pop
 	m.prSeconds, m.prIterations = prSeconds, prIters
 	m.metrics.observePageRank(prSeconds, prIters)
-	m.index = idx
+	m.cands = trie
+	m.trie = trie
 	m.walker = metapath.NewWalker(g, m.cfg.WalkCacheSize)
 	// Frozen mixtures embed walk distributions over the old graph's
 	// object IDs; bump the version so none survive the rebind.
@@ -272,7 +282,7 @@ func (m *Model) Popularity(e hin.ObjectID) float64 { return m.popularity[e] }
 // freshly allocated on every call and owned by the caller; mutating it
 // cannot corrupt the index.
 func (m *Model) Candidates(mention string) []hin.ObjectID {
-	return m.index.Candidates(mention)
+	return m.cands.Candidates(mention)
 }
 
 // EntityObjectProb returns the smoothed object model probability
@@ -341,7 +351,7 @@ func (m *Model) LinkContext(ctx context.Context, doc *corpus.Document) (Result, 
 }
 
 func (m *Model) link(ctx context.Context, doc *corpus.Document) (Result, error) {
-	cands := m.index.Candidates(doc.Mention)
+	cands := m.lookupCandidates(doc.Mention)
 	if len(cands) == 0 {
 		return Result{Entity: hin.NoObject}, fmt.Errorf("%w: %q", ErrNoCandidates, doc.Mention)
 	}

@@ -70,7 +70,7 @@ func (m *Model) linkNIL(ctx context.Context, doc *corpus.Document, nilPrior floa
 	if nilPrior <= 0 || nilPrior >= 1 {
 		return Result{}, fmt.Errorf("shine: NIL prior %v outside (0, 1)", nilPrior)
 	}
-	cands := m.index.Candidates(doc.Mention)
+	cands := m.lookupCandidates(doc.Mention)
 	if len(cands) == 0 {
 		return Result{
 			Entity: hin.NoObject,

@@ -9,15 +9,15 @@ import (
 	"shine/internal/corpus"
 	"shine/internal/hin"
 	"shine/internal/metapath"
-	"shine/internal/namematch"
 	"shine/internal/sparse"
+	"shine/internal/surftrie"
 )
 
 // Parts is the flat decomposition of a trained Model: everything a
 // binary snapshot persists so that FromParts can reassemble a serving
 // model without re-running PageRank, re-estimating the generic object
-// model, or re-walking meta-paths. The name index and walker cache are
-// deliberately absent — both are cheap deterministic rebuilds from the
+// model, re-walking meta-paths, or re-freezing the surface-form trie.
+// The walker cache is deliberately absent — a cheap rebuild from the
 // graph.
 type Parts struct {
 	Graph      *hin.Graph
@@ -40,6 +40,11 @@ type Parts struct {
 	// Mixtures is the frozen per-candidate mixture index, sorted by
 	// ascending entity ID. May be empty: the index refills lazily.
 	Mixtures []MixtureEntry
+	// Trie is the frozen surface-form candidate index. May be nil —
+	// from a model with a custom candidate source, or a snapshot
+	// written before the trie section existed — in which case
+	// FromParts rebuilds it from the graph.
+	Trie *surftrie.Trie
 }
 
 // MixtureEntry is one frozen candidate mixture Pe(v) = Σ_p w_p·Pe(v|p).
@@ -70,6 +75,7 @@ func (m *Model) Parts() Parts {
 		PRIterations: m.prIterations,
 		Generic:      m.generic.Vector(),
 		Mixtures:     m.mixtures.snapshotEntries(ver),
+		Trie:         m.trie,
 	}
 }
 
@@ -135,9 +141,14 @@ func FromParts(p Parts) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shine: FromParts: %w", err)
 	}
-	idx, err := namematch.BuildIndex(p.Graph, p.EntityType)
-	if err != nil {
-		return nil, fmt.Errorf("shine: FromParts: indexing entity names: %w", err)
+	trie := p.Trie
+	if trie == nil {
+		trie, err = surftrie.Build(p.Graph, p.EntityType)
+		if err != nil {
+			return nil, fmt.Errorf("shine: FromParts: indexing entity names: %w", err)
+		}
+	} else if err := trie.CheckGraph(p.Graph, p.EntityType); err != nil {
+		return nil, fmt.Errorf("shine: FromParts: %w", err)
 	}
 
 	for i, en := range p.Mixtures {
@@ -162,7 +173,8 @@ func FromParts(p Parts) (*Model, error) {
 		popularity:   pop,
 		prSeconds:    p.PRSeconds,
 		prIterations: p.PRIterations,
-		index:        idx,
+		cands:        trie,
+		trie:         trie,
 		walker:       metapath.NewWalker(p.Graph, cfg.WalkCacheSize),
 		generic:      gen,
 	}

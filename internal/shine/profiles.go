@@ -89,7 +89,9 @@ func (m *Model) prepareCorpus(c *corpus.Corpus) ([]*mentionData, int, error) {
 	var jobs []prepJob
 	skipped := 0
 	for _, doc := range c.Docs {
-		cands := m.index.Candidates(doc.Mention)
+		// Training stays strict — no fuzzy fallback — so EM sees the
+		// paper's candidate sets regardless of serving knobs.
+		cands := m.cands.Candidates(doc.Mention)
 		if len(cands) == 0 {
 			skipped++
 			continue

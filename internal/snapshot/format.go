@@ -28,7 +28,9 @@
 // Compatibility: version bumps on any layout change. A reader
 // encountering a newer version fails with a "built by a newer shine"
 // error; older versions that can still be decoded are listed
-// explicitly (none yet — version 1 is current).
+// explicitly. Version 2 is current (it added the surface-form trie
+// section); version 1 artifacts are still read, with the trie rebuilt
+// from the graph instead of loaded warm.
 package snapshot
 
 import (
@@ -42,7 +44,9 @@ const (
 	// Magic identifies a SHINE snapshot artifact.
 	Magic = "SHINESNP"
 	// FormatVersion is the current wire format version.
-	FormatVersion = 1
+	FormatVersion = 2
+	// minFormatVersion is the oldest version this build still reads.
+	minFormatVersion = 1
 
 	headerLen    = 8 + 4 + 4 // magic + version + section count
 	tableEntry   = 4 + 4 + 8 + 8 + 4
@@ -62,6 +66,7 @@ const (
 	secWeights    = 6 // learned meta-path weight vector
 	secGeneric    = 7 // generic object model Pg as a frozen sparse pair
 	secMixtures   = 8 // frozen per-candidate mixture index
+	secTrie       = 9 // frozen surface-form candidate trie (format v2+)
 )
 
 var sectionNames = map[uint32]string{
@@ -73,6 +78,7 @@ var sectionNames = map[uint32]string{
 	secWeights:    "weights",
 	secGeneric:    "generic",
 	secMixtures:   "mixtures",
+	secTrie:       "trie",
 }
 
 // ErrNewerVersion marks an artifact written by a newer shine build.
@@ -99,11 +105,14 @@ type Info struct {
 	Paths          int    `json:"paths"`
 	MixtureEntries int    `json:"mixtureEntries"`
 	GenericSupport int    `json:"genericSupport"`
+	// TrieNodes is the node count of the surface-form candidate trie;
+	// 0 for version-1 artifacts, which carry no trie section.
+	TrieNodes int `json:"trieNodes"`
 }
 
 func (i Info) String() string {
-	return fmt.Sprintf("snapshot v%d checksum=%s bytes=%d entityType=%s objects=%d links=%d entities=%d paths=%d mixtures=%d genericSupport=%d",
-		i.FormatVersion, i.Checksum, i.Bytes, i.EntityType, i.Objects, i.Links, i.Entities, i.Paths, i.MixtureEntries, i.GenericSupport)
+	return fmt.Sprintf("snapshot v%d checksum=%s bytes=%d entityType=%s objects=%d links=%d entities=%d paths=%d mixtures=%d genericSupport=%d trieNodes=%d",
+		i.FormatVersion, i.Checksum, i.Bytes, i.EntityType, i.Objects, i.Links, i.Entities, i.Paths, i.MixtureEntries, i.GenericSupport, i.TrieNodes)
 }
 
 // metaSection is the JSON payload of section 1: everything small and

@@ -10,6 +10,7 @@ import (
 	"shine/internal/metapath"
 	"shine/internal/shine"
 	"shine/internal/sparse"
+	"shine/internal/surftrie"
 )
 
 // Snapshot is a decoded artifact: the validated model decomposition
@@ -66,7 +67,7 @@ func ReadBytes(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: artifact format v%d, this build reads up to v%d; upgrade the binary",
 			ErrNewerVersion, version, FormatVersion)
 	}
-	if version != FormatVersion {
+	if version < minFormatVersion {
 		return nil, fmt.Errorf("snapshot: unsupported format version %d", version)
 	}
 	count := int(le.Uint32(data[12:]))
@@ -117,8 +118,11 @@ func ReadBytes(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("snapshot: %d trailing bytes after last section", uint64(len(data))-expect)
 	}
 	want := []uint32{secMeta, secConfig, secObjects, secCSR, secPopularity, secWeights, secGeneric, secMixtures}
+	if version >= 2 {
+		want = append(want, secTrie)
+	}
 	if count != len(want) {
-		return nil, fmt.Errorf("snapshot: %d sections, format v%d has %d", count, FormatVersion, len(want))
+		return nil, fmt.Errorf("snapshot: %d sections, format v%d has %d", count, version, len(want))
 	}
 	for i, id := range want {
 		if entries[i].id != id {
@@ -335,6 +339,68 @@ func ReadBytes(data []byte) (*Snapshot, error) {
 		mixtures[i] = shine.MixtureEntry{Entity: hin.ObjectID(ents[i]), Mixture: d}
 	}
 
+	// Section 9 (format v2+): the frozen surface-form trie. Version-1
+	// artifacts carry none; FromParts rebuilds it from the graph.
+	var trie *surftrie.Trie
+	if version >= 2 {
+		c = &cursor{b: payload(secTrie), sec: "trie"}
+		keys, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		nodesU, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		nodes := int(nodesU)
+		labelLen, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		labels, err := c.bytes(int(labelLen))
+		if err != nil {
+			return nil, err
+		}
+		labelLo, err := c.u32s(nodes + 1)
+		if err != nil {
+			return nil, err
+		}
+		childLo, err := c.u32s(nodes + 1)
+		if err != nil {
+			return nil, err
+		}
+		entryLo, err := c.u32s(nodes + 1)
+		if err != nil {
+			return nil, err
+		}
+		refsN, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		refs, err := c.u32s(int(refsN))
+		if err != nil {
+			return nil, err
+		}
+		entsN, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		trieEnts, err := c.i32s(int(entsN))
+		if err != nil {
+			return nil, err
+		}
+		if err := c.done(); err != nil {
+			return nil, err
+		}
+		trie, err = surftrie.FromRaw(surftrie.Raw{
+			Labels: labels, LabelLo: labelLo, ChildLo: childLo,
+			EntryLo: entryLo, Refs: refs, Entities: trieEnts, Keys: keys,
+		}, g, entityType)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: section trie: %w", err)
+		}
+	}
+
 	parts := shine.Parts{
 		Graph:        g,
 		EntityType:   entityType,
@@ -346,6 +412,7 @@ func ReadBytes(data []byte) (*Snapshot, error) {
 		PRIterations: meta.PRIterations,
 		Generic:      gdist.Thaw(),
 		Mixtures:     mixtures,
+		Trie:         trie,
 	}
 	// Dry-run the final assembly so a Snapshot in hand is a model that
 	// will materialise: FromParts runs the semantic validation

@@ -11,6 +11,7 @@ import (
 	"shine/internal/hin"
 	"shine/internal/shine"
 	"shine/internal/sparse"
+	"shine/internal/surftrie"
 )
 
 // Encode serialises a model decomposition into the artifact byte
@@ -18,6 +19,31 @@ import (
 // timestamps, no host-dependent fields — so rebuilding the same model
 // yields a byte-identical artifact with the same checksum.
 func Encode(p shine.Parts) ([]byte, error) {
+	p, err := normalizeParts(p)
+	if err != nil {
+		return nil, err
+	}
+	return encodeParts(p)
+}
+
+// normalizeParts fills the derivable pieces Encode needs that a
+// hand-assembled Parts may omit: a nil Trie is built from the graph
+// (deterministically, so the artifact bytes stay reproducible).
+func normalizeParts(p shine.Parts) (shine.Parts, error) {
+	if p.Trie == nil {
+		if p.Graph == nil {
+			return p, fmt.Errorf("snapshot: encoding: nil graph")
+		}
+		t, err := surftrie.Build(p.Graph, p.EntityType)
+		if err != nil {
+			return p, fmt.Errorf("snapshot: building surface trie: %w", err)
+		}
+		p.Trie = t
+	}
+	return p, nil
+}
+
+func encodeParts(p shine.Parts) ([]byte, error) {
 	type section struct {
 		id      uint32
 		payload []byte
@@ -135,6 +161,23 @@ func Encode(p shine.Parts) ([]byte, error) {
 	}
 	add(secMixtures, mix)
 
+	// Section 9: frozen surface-form trie — flat arrays verbatim, so
+	// the restored index is structurally identical to the built one.
+	raw := p.Trie.Raw()
+	trieNodes := len(raw.LabelLo) - 1
+	tr := appendU32(nil, raw.Keys)
+	tr = appendU32(tr, uint32(trieNodes))
+	tr = appendU32(tr, uint32(len(raw.Labels)))
+	tr = append(tr, raw.Labels...)
+	tr = appendU32s(tr, raw.LabelLo)
+	tr = appendU32s(tr, raw.ChildLo)
+	tr = appendU32s(tr, raw.EntryLo)
+	tr = appendU32(tr, uint32(len(raw.Refs)))
+	tr = appendU32s(tr, raw.Refs)
+	tr = appendU32(tr, uint32(len(raw.Entities)))
+	tr = appendI32s(tr, raw.Entities)
+	add(secTrie, tr)
+
 	// Assemble: header, table, table CRC, payloads.
 	artifactLen := headerLen + tableEntry*len(secs) + 4
 	offset := uint64(artifactLen)
@@ -194,7 +237,11 @@ func Write(w io.Writer, p shine.Parts) (int64, error) {
 // what makes `POST /v1/admin/reload` safe to point at a path a build
 // pipeline is also writing.
 func WriteFile(path string, p shine.Parts) (Info, error) {
-	data, err := Encode(p)
+	p, err := normalizeParts(p)
+	if err != nil {
+		return Info{}, err
+	}
+	data, err := encodeParts(p)
 	if err != nil {
 		return Info{}, err
 	}
@@ -222,18 +269,24 @@ func WriteFile(path string, p shine.Parts) (Info, error) {
 }
 
 // infoFor summarises an encoded artifact from its bytes and the parts
-// it was built from.
+// it was built from. Version and section count come from the bytes,
+// so a version-1 artifact read by this build reports itself as v1.
 func infoFor(data []byte, p shine.Parts) Info {
 	links := 0
 	gp := p.Graph.Parts()
 	for rel := 0; rel < len(gp.Adjs); rel += 2 {
 		links += len(gp.Adjs[rel])
 	}
+	trieNodes := 0
+	if p.Trie != nil {
+		trieNodes = p.Trie.Stats().Nodes
+	}
 	return Info{
-		FormatVersion:  FormatVersion,
+		FormatVersion:  le.Uint32(data[8:]),
 		Checksum:       fmt.Sprintf("%08x", crc32.ChecksumIEEE(data)),
 		Bytes:          int64(len(data)),
-		Sections:       8,
+		Sections:       int(le.Uint32(data[12:])),
+		TrieNodes:      trieNodes,
 		EntityType:     p.Graph.Schema().Type(p.EntityType).Name,
 		Objects:        p.Graph.NumObjects(),
 		Links:          links,

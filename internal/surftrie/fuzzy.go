@@ -1,0 +1,129 @@
+package surftrie
+
+import (
+	"unicode/utf8"
+
+	"shine/internal/hin"
+	"shine/internal/namematch"
+)
+
+// MaxDistance is the largest edit distance FuzzyCandidates accepts.
+// Distance 2 already absorbs the common OCR confusions (dropped
+// letter, doubled letter, transposed pair as two edits); beyond that
+// the candidate blocks stop being discriminative.
+const MaxDistance = 2
+
+// FuzzyCandidates returns every entity stored under a key within
+// Levenshtein distance ≤ dist (rune-level) of the mention's canonical
+// key or its folded form, in ascending ID order with no duplicates.
+// dist is clamped to [0, MaxDistance]. No name-rule filter is applied
+// — the caller gets the full noisy-recall block, which is by
+// construction a superset of Candidates(mention) for any dist ≥ 0.
+func (t *Trie) FuzzyCandidates(mention string, dist int) []hin.ObjectID {
+	if dist < 0 {
+		dist = 0
+	}
+	if dist > MaxDistance {
+		dist = MaxDistance
+	}
+	n := namematch.Parse(mention)
+	if n.IsEmpty() {
+		return nil
+	}
+	var out []hin.ObjectID
+	k := keyOf(n)
+	out = t.fuzzyWalk(out, []rune(k), dist)
+	if fk := foldKey(n); fk != k {
+		out = t.fuzzyWalk(out, []rune(fk), dist)
+	}
+	return sortDedup(out)
+}
+
+// fuzzyWalk appends to out the entities at every terminal whose
+// spelled key is within maxDist rune edits of pattern. It runs the
+// classic Levenshtein DP rows down the trie: each node carries the DP
+// row for the prefix it spells, children extend it one stored rune at
+// a time, and a branch is pruned as soon as its row minimum exceeds
+// maxDist — the row minimum is a lower bound for every key below.
+func (t *Trie) fuzzyWalk(out []hin.ObjectID, pattern []rune, maxDist int) []hin.ObjectID {
+	m := len(pattern)
+	row := make([]int, m+1)
+	for j := range row {
+		row[j] = j // distance from "" to pattern[:j]: j insertions
+	}
+	return t.fuzzyNode(out, 0, pattern, row, nil, maxDist)
+}
+
+// fuzzyNode advances the DP row across node's edge label and recurses
+// into its children. Stored keys are valid UTF-8, but path
+// compression breaks edges at arbitrary byte positions — two keys can
+// diverge at the second byte of a shared multi-byte rune — so an edge
+// label may begin or end mid-rune. pending carries the undecoded tail
+// bytes of such a split rune from the parent edge; only complete
+// runes feed the DP. Every stored key is valid UTF-8, so pending is
+// always empty at terminals and the final row cell is exact there.
+func (t *Trie) fuzzyNode(out []hin.ObjectID, node int, pattern []rune, row []int, pending []byte, maxDist int) []hin.ObjectID {
+	lab := t.label(node)
+	buf := lab
+	if len(pending) > 0 {
+		buf = make([]byte, 0, len(pending)+len(lab))
+		buf = append(buf, pending...)
+		buf = append(buf, lab...)
+	}
+	for len(buf) > 0 {
+		if !utf8.FullRune(buf) {
+			break // split rune continues in a child edge
+		}
+		r, size := utf8.DecodeRune(buf)
+		buf = buf[size:]
+		row = nextRow(row, pattern, r)
+		if minOf(row) > maxDist {
+			return out
+		}
+	}
+	if len(buf) == 0 && row[len(row)-1] <= maxDist {
+		for _, ref := range t.nodeRefs(node) {
+			out = append(out, t.entries[ref>>1].entity)
+		}
+	}
+	lo, hi := t.children(node)
+	for c := lo; c < hi; c++ {
+		out = t.fuzzyNode(out, c, pattern, row, buf, maxDist)
+	}
+	return out
+}
+
+// nextRow computes the Levenshtein DP row after consuming stored rune
+// r, from the row for the prefix before it. row[j] is the distance
+// between the consumed stored prefix and pattern[:j].
+func nextRow(row []int, pattern []rune, r rune) []int {
+	next := make([]int, len(row))
+	next[0] = row[0] + 1 // deletion of r
+	for j := 1; j < len(row); j++ {
+		sub := row[j-1]
+		if pattern[j-1] != r {
+			sub++
+		}
+		ins := next[j-1] + 1
+		del := row[j] + 1
+		d := sub
+		if ins < d {
+			d = ins
+		}
+		if del < d {
+			d = del
+		}
+		next[j] = d
+	}
+	return next
+}
+
+func minOf(row []int) int {
+	m := row[0]
+	for _, v := range row[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,212 @@
+package surftrie
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"shine/internal/hin"
+	"shine/internal/namematch"
+)
+
+// levRunes is the independent rune-level Levenshtein oracle: the full
+// (m+1)×(n+1) matrix, no trie, no pruning. The fuzzy walk is held
+// against it exactly.
+func levRunes(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d := prev[j-1] + cost
+			if v := prev[j] + 1; v < d {
+				d = v
+			}
+			if v := cur[j-1] + 1; v < d {
+				d = v
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func TestLevRunesOracle(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "ab", 1},
+		{"abc", "xabc", 1},
+		{"kitten", "sitting", 3},
+		{"zoé", "zoè", 1}, // one rune edit, not two byte edits
+		{"", "ab", 2},
+	}
+	for _, c := range cases {
+		if got := levRunes(c.a, c.b); got != c.want {
+			t.Errorf("levRunes(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// storedKeys returns the keys an entity's parsed name is indexed
+// under: the canonical key, plus the folded alias when different —
+// mirroring Build's insertions.
+func storedKeys(n namematch.Name) []string {
+	k := keyOf(n)
+	if fk := foldKey(n); fk != k {
+		return []string{k, fk}
+	}
+	return []string{k}
+}
+
+// buildFuzzFixture assembles a compact corpus dense in near-miss pairs
+// (one-edit last names, diacritic variants, shared folded keys) so
+// small distances actually discriminate.
+func buildFuzzFixture(t testing.TB) (*hin.DBLPSchema, *hin.Graph, *Trie) {
+	t.Helper()
+	names := []string{
+		"Wei Wang 0001", "Wei Wang 0002", "Wei Wing", "Wei Wong",
+		"Wei Zhang", "Lei Wang", "Wen Wang", "W. Wang",
+		"Richard R. Muntz", "Richard Munts", "Rachel Muntz",
+		"José García", "Jose Garcia", "José García-López",
+		"Mia Zoé", "Mia Zoè", "Mia Zoe",
+		"Björn Müller", "Bjorn Muller", "Bjørn Moller",
+		"Sø O'Brien", "So Obrien", "Michael Jeffrey Jordan",
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 120; i++ {
+		names = append(names, genFuzzName(rng))
+	}
+	d := hin.NewDBLPSchema()
+	b := hin.NewBuilder(d.Schema)
+	for _, n := range names {
+		b.MustAddObject(d.Author, n)
+	}
+	g := b.Build()
+	trie, err := Build(g, d.Author)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, g, trie
+}
+
+func genFuzzName(rng *rand.Rand) string {
+	firsts := []string{"wei", "wai", "wel", "jo", "joe", "zoé", "maría", "maria", "bo"}
+	lasts := []string{"wang", "wanh", "wag", "garcía", "garcia", "garzia", "müller", "muler", "li", "lì"}
+	return firsts[rng.Intn(len(firsts))] + " " + lasts[rng.Intn(len(lasts))]
+}
+
+// TestFuzzyOracle proves the walk equals the definition: an entity is
+// returned at distance d exactly when one of its stored keys is within
+// d rune edits of the mention's canonical or folded key.
+func TestFuzzyOracle(t *testing.T) {
+	d, g, trie := buildFuzzFixture(t)
+	entities := g.ObjectsOfType(d.Author)
+	type indexed struct {
+		entity hin.ObjectID
+		keys   []string
+	}
+	var all []indexed
+	for _, e := range entities {
+		n := namematch.Parse(g.Name(e))
+		if n.IsEmpty() {
+			continue
+		}
+		all = append(all, indexed{entity: e, keys: storedKeys(n)})
+	}
+	brute := func(mention string, dist int) []hin.ObjectID {
+		n := namematch.Parse(mention)
+		if n.IsEmpty() {
+			return nil
+		}
+		patterns := storedKeys(n) // same key derivation as the lookup side
+		var out []hin.ObjectID
+		for _, ix := range all {
+			found := false
+			for _, p := range patterns {
+				for _, k := range ix.keys {
+					if levRunes(p, k) <= dist {
+						found = true
+					}
+				}
+			}
+			if found {
+				out = append(out, ix.entity)
+			}
+		}
+		return sortDedup(out)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	mentions := []string{
+		"Wei Wang", "Wei Wnag", "We Wang", "Wei Wangg", "Wie Wang",
+		"José García", "Jose Garcia", "Mia Zoé", "Mia Zoe", "Mla Zoé",
+		"Richard Muntz", "Richar Muntz", "Björn Müller", "Bjorn Muller",
+		"Nobody Atall", "Wang", "W Wang",
+	}
+	for i := 0; i < 150; i++ {
+		m := genFuzzName(rng)
+		if rng.Intn(2) == 0 {
+			b := []byte(m)
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(26))
+			m = string(b)
+		}
+		mentions = append(mentions, m)
+	}
+	for _, m := range mentions {
+		for dist := 0; dist <= MaxDistance; dist++ {
+			got := trie.FuzzyCandidates(m, dist)
+			want := brute(m, dist)
+			if !slices.Equal(got, want) {
+				t.Errorf("FuzzyCandidates(%q, %d) = %v, want %v", m, dist, got, want)
+			}
+		}
+	}
+}
+
+// TestFuzzyMidRuneBranch pins the path-compression edge case: "zoé"
+// and "zoè" share the first byte of their final rune, so the trie
+// branches in the middle of a UTF-8 sequence and the DP must reassemble
+// the rune across the edge boundary.
+func TestFuzzyMidRuneBranch(t *testing.T) {
+	d := hin.NewDBLPSchema()
+	b := hin.NewBuilder(d.Schema)
+	e1 := b.MustAddObject(d.Author, "Mia Zoé")
+	e2 := b.MustAddObject(d.Author, "Mia Zoè")
+	g := b.Build()
+	trie, err := Build(g, d.Author)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trie.FuzzyCandidates("Mia Zoé", 1)
+	want := sortDedup([]hin.ObjectID{e1, e2})
+	if !slices.Equal(got, want) {
+		t.Errorf("FuzzyCandidates(Mia Zoé, 1) = %v, want %v", got, want)
+	}
+}
+
+func TestFuzzyClampsDistance(t *testing.T) {
+	_, _, trie := buildFuzzFixture(t)
+	if got, want := trie.FuzzyCandidates("Wei Wang", -5), trie.FuzzyCandidates("Wei Wang", 0); !slices.Equal(got, want) {
+		t.Errorf("negative distance not clamped to 0: %v vs %v", got, want)
+	}
+	if got, want := trie.FuzzyCandidates("Wei Wang", 99), trie.FuzzyCandidates("Wei Wang", MaxDistance); !slices.Equal(got, want) {
+		t.Errorf("oversized distance not clamped to MaxDistance: %v vs %v", got, want)
+	}
+	if got := trie.FuzzyCandidates("", 2); got != nil {
+		t.Errorf("FuzzyCandidates(empty) = %v", got)
+	}
+}

@@ -1,0 +1,58 @@
+package surftrie
+
+import (
+	"testing"
+
+	"shine/internal/namematch"
+)
+
+func TestFold(t *testing.T) {
+	cases := map[string]string{
+		"wang":         "wang", // pure ASCII passes through
+		"garcía":       "garcia",
+		"garcía-lópez": "garcialopez",
+		"o'brien":      "obrien",
+		"o’brien":      "obrien", // typographic apostrophe
+		"müller":       "muller",
+		"žižek":        "zizek",
+		"næss":         "naess", // multi-character expansion
+		"straße":       "strasse",
+		"jean-pierre":  "jeanpierre",
+		"nguyễn":       "nguyễn", // outside the Latin fold tables: passes through
+		"":             "",
+	}
+	for in, want := range cases {
+		if got := fold(in); got != want {
+			t.Errorf("fold(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFoldKey(t *testing.T) {
+	n := namematch.Parse("José García-López")
+	if got, want := keyOf(n), "garcía-lópez\x00josé"; got != want {
+		t.Errorf("keyOf = %q, want %q", got, want)
+	}
+	if got, want := foldKey(n), "garcialopez\x00jose"; got != want {
+		t.Errorf("foldKey = %q, want %q", got, want)
+	}
+	// ASCII names fold to themselves, so no alias key is inserted.
+	plain := namematch.Parse("Wei Wang")
+	if keyOf(plain) != foldKey(plain) {
+		t.Errorf("ASCII name folded: keyOf=%q foldKey=%q", keyOf(plain), foldKey(plain))
+	}
+}
+
+func TestFoldRuneDrops(t *testing.T) {
+	for _, r := range []rune{'-', '\'', '’', '.'} {
+		if _, ok := foldRune(r); ok {
+			t.Errorf("foldRune(%q) kept, want dropped", r)
+		}
+	}
+	if f, ok := foldRune('æ'); !ok || f != "ae" {
+		t.Errorf("foldRune(æ) = %q, %v", f, ok)
+	}
+	if f, ok := foldRune('x'); !ok || f != "x" {
+		t.Errorf("foldRune(x) = %q, %v", f, ok)
+	}
+}

@@ -1,0 +1,147 @@
+package surftrie
+
+import (
+	"fmt"
+
+	"shine/internal/hin"
+	"shine/internal/namematch"
+)
+
+// Raw is the flat wire representation of a frozen trie: exactly the
+// five arrays plus the entity list, everything else reconstructible.
+// Entry names are NOT serialised — they re-parse deterministically
+// from the graph's symbol table at restore time, which keeps the
+// snapshot section small and makes a stale section (entities moved or
+// renamed) detectable by FromRaw.
+type Raw struct {
+	Labels   []byte
+	LabelLo  []uint32
+	ChildLo  []uint32
+	EntryLo  []uint32
+	Refs     []uint32
+	Entities []int32
+	Keys     uint32
+}
+
+// Raw returns the trie's wire representation. The slices alias the
+// trie's internal arrays and must not be mutated.
+func (t *Trie) Raw() Raw {
+	ents := make([]int32, len(t.entries))
+	for i := range t.entries {
+		ents[i] = int32(t.entries[i].entity)
+	}
+	return Raw{
+		Labels:   t.labels,
+		LabelLo:  t.labelLo,
+		ChildLo:  t.childLo,
+		EntryLo:  t.entryLo,
+		Refs:     t.refs,
+		Entities: ents,
+		Keys:     uint32(t.keys),
+	}
+}
+
+// FromRaw validates a wire representation against the graph it claims
+// to index and reassembles the trie. Input may be hostile (a corrupt
+// or crafted snapshot section): every structural invariant is checked
+// — monotone offset arrays, in-bounds indices, strictly-forward child
+// ranges so the node graph cannot contain cycles — and violations
+// return an error, never a panic or an unbounded allocation. Entry
+// names are re-parsed from g, so a trie restored from a snapshot is
+// structurally identical to the one that was written.
+func FromRaw(raw Raw, g *hin.Graph, entityType hin.TypeID) (*Trie, error) {
+	nodes := len(raw.LabelLo) - 1
+	if nodes < 1 {
+		return nil, fmt.Errorf("surftrie: raw trie has no nodes")
+	}
+	if len(raw.ChildLo) != nodes+1 {
+		return nil, fmt.Errorf("surftrie: childLo has %d offsets, want %d", len(raw.ChildLo), nodes+1)
+	}
+	if len(raw.EntryLo) != nodes+1 {
+		return nil, fmt.Errorf("surftrie: entryLo has %d offsets, want %d", len(raw.EntryLo), nodes+1)
+	}
+	if err := checkOffsets("labelLo", raw.LabelLo, len(raw.Labels)); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("entryLo", raw.EntryLo, len(raw.Refs)); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("childLo", raw.ChildLo, nodes); err != nil {
+		return nil, err
+	}
+	if raw.LabelLo[0] != 0 || raw.LabelLo[nodes] != uint32(len(raw.Labels)) {
+		return nil, fmt.Errorf("surftrie: labelLo does not span labels")
+	}
+	if raw.EntryLo[0] != 0 || raw.EntryLo[nodes] != uint32(len(raw.Refs)) {
+		return nil, fmt.Errorf("surftrie: entryLo does not span refs")
+	}
+	if raw.ChildLo[0] != 1 || raw.ChildLo[nodes] != uint32(nodes) {
+		return nil, fmt.Errorf("surftrie: childLo does not span nodes")
+	}
+	// Child ranges must point strictly forward (BFS layout), which
+	// rules out cycles and unreachable self-references.
+	for i := 0; i < nodes; i++ {
+		if raw.ChildLo[i] < raw.ChildLo[i+1] && raw.ChildLo[i] <= uint32(i) {
+			return nil, fmt.Errorf("surftrie: node %d has non-forward child range", i)
+		}
+	}
+	// Non-root nodes carry a non-empty edge label; sibling first bytes
+	// must be strictly ascending for findChild's binary search.
+	for i := 1; i < nodes; i++ {
+		if raw.LabelLo[i] == raw.LabelLo[i+1] {
+			return nil, fmt.Errorf("surftrie: node %d has empty edge label", i)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		lo, hi := raw.ChildLo[i], raw.ChildLo[i+1]
+		for c := lo + 1; c < hi; c++ {
+			if raw.Labels[raw.LabelLo[c-1]] >= raw.Labels[raw.LabelLo[c]] {
+				return nil, fmt.Errorf("surftrie: node %d children not sorted by first label byte", i)
+			}
+		}
+	}
+	for i, ref := range raw.Refs {
+		if int(ref>>1) >= len(raw.Entities) {
+			return nil, fmt.Errorf("surftrie: ref %d points past %d entries", i, len(raw.Entities))
+		}
+	}
+	t := &Trie{
+		labels:  raw.Labels,
+		labelLo: raw.LabelLo,
+		childLo: raw.ChildLo,
+		entryLo: raw.EntryLo,
+		refs:    raw.Refs,
+		entries: make([]entry, len(raw.Entities)),
+		keys:    int(raw.Keys),
+	}
+	for i, e := range raw.Entities {
+		id := hin.ObjectID(e)
+		if id < 0 || int(id) >= g.NumObjects() {
+			return nil, fmt.Errorf("surftrie: entry %d references out-of-range object %d", i, id)
+		}
+		if g.TypeOf(id) != entityType {
+			return nil, fmt.Errorf("surftrie: entry %d references object %d of type %d, want %d",
+				i, id, g.TypeOf(id), entityType)
+		}
+		n := namematch.Parse(g.Name(id))
+		if n.IsEmpty() {
+			return nil, fmt.Errorf("surftrie: entry %d (object %d) has an unparseable name %q", i, id, g.Name(id))
+		}
+		t.entries[i] = entry{entity: id, name: n}
+	}
+	return t, nil
+}
+
+// checkOffsets verifies an offset array is monotone non-decreasing
+// with every value ≤ limit.
+func checkOffsets(what string, off []uint32, limit int) error {
+	for i, v := range off {
+		if int(v) > limit {
+			return fmt.Errorf("surftrie: %s[%d]=%d exceeds %d", what, i, v, limit)
+		}
+		if i > 0 && v < off[i-1] {
+			return fmt.Errorf("surftrie: %s[%d]=%d decreases from %d", what, i, v, off[i-1])
+		}
+	}
+	return nil
+}

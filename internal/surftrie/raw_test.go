@@ -1,0 +1,174 @@
+package surftrie_test
+
+import (
+	"reflect"
+	"slices"
+	"testing"
+
+	"shine/internal/hin"
+	"shine/internal/surftrie"
+)
+
+func rawFixture(t testing.TB) (*hin.DBLPSchema, *hin.Graph, *surftrie.Trie) {
+	t.Helper()
+	d, g := buildAuthorGraph(t,
+		"Wei Wang 0001", "Wei Wang 0002", "Richard R. Muntz",
+		"José García-López", "Mia Zoé", "Lei Wang",
+	)
+	trie, err := surftrie.Build(g, d.Author)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, g, trie
+}
+
+func cloneRaw(r surftrie.Raw) surftrie.Raw {
+	return surftrie.Raw{
+		Labels:   slices.Clone(r.Labels),
+		LabelLo:  slices.Clone(r.LabelLo),
+		ChildLo:  slices.Clone(r.ChildLo),
+		EntryLo:  slices.Clone(r.EntryLo),
+		Refs:     slices.Clone(r.Refs),
+		Entities: slices.Clone(r.Entities),
+		Keys:     r.Keys,
+	}
+}
+
+// TestRawRoundTrip: Raw → FromRaw must reproduce the trie exactly —
+// the same wire arrays and the same candidate lists in every mode.
+func TestRawRoundTrip(t *testing.T) {
+	d, g, trie := rawFixture(t)
+	restored, err := surftrie.FromRaw(trie.Raw(), g, d.Author)
+	if err != nil {
+		t.Fatalf("FromRaw: %v", err)
+	}
+	if !reflect.DeepEqual(trie.Raw(), restored.Raw()) {
+		t.Error("restored trie has different wire arrays")
+	}
+	if trie.Stats() != restored.Stats() {
+		t.Errorf("stats diverge: %+v vs %+v", trie.Stats(), restored.Stats())
+	}
+	for _, m := range []string{
+		"Wei Wang", "wang, wei 0001", "W. Wang", "Richard Muntz",
+		"José García-López", "Jose Garcia Lopez", "Mia Zoé", "Mia Zoè", "Nobody",
+	} {
+		if a, b := trie.Candidates(m), restored.Candidates(m); !slices.Equal(a, b) {
+			t.Errorf("Candidates(%q): %v vs %v after round trip", m, a, b)
+		}
+		if a, b := trie.LooseCandidates(m), restored.LooseCandidates(m); !slices.Equal(a, b) {
+			t.Errorf("LooseCandidates(%q): %v vs %v after round trip", m, a, b)
+		}
+		for dist := 0; dist <= surftrie.MaxDistance; dist++ {
+			if a, b := trie.FuzzyCandidates(m, dist), restored.FuzzyCandidates(m, dist); !slices.Equal(a, b) {
+				t.Errorf("FuzzyCandidates(%q, %d): %v vs %v after round trip", m, dist, a, b)
+			}
+		}
+	}
+}
+
+// TestFromRawRejects feeds FromRaw one violated invariant at a time —
+// the decoder of a hostile snapshot section must error on each, never
+// panic.
+func TestFromRawRejects(t *testing.T) {
+	d, g, trie := rawFixture(t)
+	valid := trie.Raw()
+	if _, err := surftrie.FromRaw(cloneRaw(valid), g, d.Author); err != nil {
+		t.Fatalf("valid raw rejected: %v", err)
+	}
+	nodes := len(valid.LabelLo) - 1
+
+	// An author whose name is all digits parses to nothing; Build never
+	// indexes it, so a raw entry referencing it is stale.
+	db := hin.NewBuilderFromGraph(g)
+	unparseable := db.MustAddObject(d.Author, "0042")
+	gPlus := db.Build()
+
+	cases := map[string]func(r *surftrie.Raw){
+		"no nodes":          func(r *surftrie.Raw) { r.LabelLo = r.LabelLo[:1] },
+		"childLo too short": func(r *surftrie.Raw) { r.ChildLo = r.ChildLo[:nodes] },
+		"entryLo too short": func(r *surftrie.Raw) { r.EntryLo = r.EntryLo[:nodes] },
+		"labelLo decreasing": func(r *surftrie.Raw) {
+			r.LabelLo[1], r.LabelLo[2] = r.LabelLo[2]+1, r.LabelLo[1]
+		},
+		"labelLo exceeds labels": func(r *surftrie.Raw) { r.LabelLo[nodes] = uint32(len(r.Labels)) + 8 },
+		"labelLo does not span":  func(r *surftrie.Raw) { r.Labels = append(r.Labels, 'x') },
+		"entryLo does not span":  func(r *surftrie.Raw) { r.Refs = append(r.Refs, 0) },
+		"childLo root not 1":     func(r *surftrie.Raw) { r.ChildLo[0] = 0 },
+		"childLo does not span":  func(r *surftrie.Raw) { r.ChildLo[nodes] = uint32(nodes) - 1 },
+		"ref out of range":       func(r *surftrie.Raw) { r.Refs[0] = uint32(len(r.Entities)) << 1 },
+		"entity out of range":    func(r *surftrie.Raw) { r.Entities[0] = int32(g.NumObjects()) },
+		"entity negative":        func(r *surftrie.Raw) { r.Entities[0] = -1 },
+	}
+	for name, mutate := range cases {
+		r := cloneRaw(valid)
+		mutate(&r)
+		if _, err := surftrie.FromRaw(r, g, d.Author); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Wrong entity type: every entry points at an author, so decoding
+	// against the venue type must fail.
+	if _, err := surftrie.FromRaw(cloneRaw(valid), g, d.Venue); err == nil {
+		t.Error("wrong entity type accepted")
+	}
+	// Stale entry: references an object whose name no longer parses.
+	r := cloneRaw(valid)
+	r.Entities[0] = int32(unparseable)
+	if _, err := surftrie.FromRaw(r, gPlus, d.Author); err == nil {
+		t.Error("entry with unparseable name accepted")
+	}
+}
+
+// TestFromRawRejectsCycle crafts a structurally well-offset trie whose
+// child range points backwards — the cycle FromRaw's forward-range
+// check exists to rule out.
+func TestFromRawRejectsCycle(t *testing.T) {
+	d, g := buildAuthorGraph(t, "A B", "C D")
+	trie, err := surftrie.Build(g, d.Author)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cloneRaw(trie.Raw())
+	nodes := len(r.LabelLo) - 1
+	if nodes != 3 {
+		t.Fatalf("fixture has %d nodes, want 3 (root + two leaves)", nodes)
+	}
+	// Node 1 claiming children [1, 3) includes itself: monotone and
+	// spanning, but not strictly forward.
+	r.ChildLo = []uint32{1, 1, 3, 3}
+	if _, err := surftrie.FromRaw(r, g, d.Author); err == nil {
+		t.Error("backward child range (cycle) accepted")
+	}
+}
+
+// TestFromRawRejectsUnsortedSiblings breaks the sibling ordering that
+// findChild's binary search depends on.
+func TestFromRawRejectsUnsortedSiblings(t *testing.T) {
+	d, g := buildAuthorGraph(t, "A B", "C D")
+	trie, err := surftrie.Build(g, d.Author)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cloneRaw(trie.Raw())
+	// The two leaf edges spell "b\x00a" and "d\x00c"; swapping their
+	// first bytes makes the root's children descend.
+	r.Labels[r.LabelLo[1]], r.Labels[r.LabelLo[2]] = r.Labels[r.LabelLo[2]], r.Labels[r.LabelLo[1]]
+	if _, err := surftrie.FromRaw(r, g, d.Author); err == nil {
+		t.Error("unsorted siblings accepted")
+	}
+}
+
+// TestFromRawRejectsEmptyEdge gives a non-root node an empty label.
+func TestFromRawRejectsEmptyEdge(t *testing.T) {
+	d, g := buildAuthorGraph(t, "A B", "C D")
+	trie, err := surftrie.Build(g, d.Author)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cloneRaw(trie.Raw())
+	r.LabelLo[1] = r.LabelLo[2] // node 1's label collapses to nothing
+	if _, err := surftrie.FromRaw(r, g, d.Author); err == nil {
+		t.Error("empty edge label accepted")
+	}
+}

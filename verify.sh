@@ -7,18 +7,22 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 go test -race ./...
-# Smoke the serving-path, offline-pipeline and snapshot benchmarks
-# (one iteration each) so they cannot rot between perf PRs; real
-# numbers live in BENCH_link.json, BENCH_offline.json and
-# BENCH_snapshot.json.
-go test -run=NONE -bench='Link|PageRank|Build|Snapshot' -benchtime=1x .
+# Smoke the serving-path, offline-pipeline, snapshot and
+# candidate-index benchmarks (one iteration each) so they cannot rot
+# between perf PRs; real numbers live in BENCH_link.json,
+# BENCH_offline.json, BENCH_snapshot.json and BENCH_candidates.json.
+go test -run=NONE -bench='Link|PageRank|Build|Snapshot|Candidates' -benchtime=1x .
 # Route/metrics contract guard: every /v1 route answers wrong methods
 # with 405 + Allow, and the request-lifecycle series are present in
 # the /metrics exposition from the first scrape.
 go test -race -run 'TestMethodEnforcement|TestMetricsLifecycleSeries' ./internal/server/
-# Snapshot artifact fuzz smoke: five seconds of mutated-input reads —
-# the reader must never panic or over-allocate on hostile headers.
+# Fuzz smokes, five seconds each: the snapshot reader must never panic
+# or over-allocate on hostile headers; the name parser must keep its
+# invariants on arbitrary bytes; every trie lookup mode must stay
+# equivalent to (or a superset of) the brute-force oracle.
 go test -fuzz=FuzzReadBytes -fuzztime=5s -run=FuzzReadBytes ./internal/snapshot/
+go test -fuzz=FuzzParse -fuzztime=5s -run=FuzzParse ./internal/namematch/
+go test -fuzz=FuzzTrieLookup -fuzztime=5s -run=FuzzTrieLookup ./internal/surftrie/
 # Snapshot CLI round trip: build an artifact from a generated dataset,
 # inspect it, and link from it — the binary boot path end to end.
 SNAPTMP=$(mktemp -d)
