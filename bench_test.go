@@ -12,6 +12,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -690,6 +691,108 @@ func BenchmarkLinkParallel(b *testing.B) {
 	}
 	elapsed := time.Since(start)
 	b.ReportMetric(float64(b.N)*float64(docs.Len())/elapsed.Seconds(), "docs/sec")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// streamDocCount sizes the streaming-vs-materialized comparison: large
+// enough that O(n) result materialization dominates the materialized
+// path's footprint, small enough to keep the bench under seconds.
+const streamDocCount = 10000
+
+// liveHeapMB forces a collection and returns the live heap in MiB —
+// the number the streaming pipeline's O(workers+window) bound is
+// stated in.
+func liveHeapMB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+// BenchmarkLinkStream measures LinkStream over a 10k-document stream
+// on a warm model: documents flow through a bounded worker pipeline
+// and results are consumed as they emit, so peak-heap-mb stays flat
+// regardless of stream length. Contrast with BenchmarkLinkParallel10K,
+// which materializes all 10k results.
+func BenchmarkLinkStream(b *testing.B) {
+	e := benchEnv(b)
+	m := linkModel(b, e)
+	docs := e.DS.Corpus.Docs
+	for _, doc := range docs {
+		if _, err := m.Link(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base := liveHeapMB()
+	var peak float64
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		in := make(chan *corpus.Document, 64)
+		go func() {
+			for j := 0; j < streamDocCount; j++ {
+				in <- docs[j%len(docs)]
+			}
+			close(in)
+		}()
+		count := 0
+		for sr := range m.LinkStream(context.Background(), in, 8) {
+			if sr.Err != nil {
+				b.Fatal(sr.Err)
+			}
+			if count++; count == streamDocCount/2 {
+				if h := liveHeapMB() - base; h > peak {
+					peak = h
+				}
+			}
+		}
+		if count != streamDocCount {
+			b.Fatalf("stream emitted %d results, want %d", count, streamDocCount)
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N)*streamDocCount/elapsed.Seconds(), "docs/sec")
+	b.ReportMetric(peak, "peak-heap-mb")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkLinkParallel10K is the materialized counterpart: the same
+// 10k documents through LinkAllParallel, which must hold the whole
+// result slice (candidate lists included) in memory at once. Its
+// peak-heap-mb grows with the batch while BenchmarkLinkStream's does
+// not — the reason the batch endpoint streams.
+func BenchmarkLinkParallel10K(b *testing.B) {
+	e := benchEnv(b)
+	m := linkModel(b, e)
+	big := &corpus.Corpus{}
+	for j := 0; j < streamDocCount; j++ {
+		big.Add(e.DS.Corpus.Docs[j%e.DS.Corpus.Len()])
+	}
+	for _, doc := range e.DS.Corpus.Docs {
+		if _, err := m.Link(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base := liveHeapMB()
+	var peak float64
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		results, failures, err := m.LinkAllParallel(big, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if failures != 0 {
+			b.Fatalf("%d documents failed", failures)
+		}
+		if h := liveHeapMB() - base; h > peak {
+			peak = h
+		}
+		runtime.KeepAlive(results)
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N)*streamDocCount/elapsed.Seconds(), "docs/sec")
+	b.ReportMetric(peak, "peak-heap-mb")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }
 

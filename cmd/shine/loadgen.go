@@ -1,0 +1,413 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shine/internal/synth"
+)
+
+// cmdLoadgen drives a running shine server with synthetic documents
+// and reports end-to-end throughput and latency percentiles — the
+// numbers that matter for capacity planning, measured through the real
+// HTTP stack rather than in-process benchmarks.
+//
+// The generator regenerates the same synthetic dataset the server was
+// built from (same -seed/-authors/-groups), so every mention resolves
+// against the server's graph and a healthy run has zero failures.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the server under test")
+	mode := fs.String("mode", "both", "endpoint to drive: single (/v1/link), batch (/v1/link/batch) or both")
+	docs := fs.Int("docs", 1000, "number of documents to send per mode")
+	concurrency := fs.Int("concurrency", 8, "concurrent requests (single) or concurrent batch streams (batch)")
+	rate := fs.Float64("rate", 0, "target offered load in docs/sec across all workers (0 = unlimited)")
+	warmup := fs.Int("warmup", 50, "untimed warmup requests before measurement")
+	seed := fs.Int64("seed", 1, "dataset seed; must match the server's `shine gen -seed`")
+	authors := fs.Int("authors", 1800, "dataset regular authors; must match the server's graph")
+	groups := fs.Int("groups", 20, "dataset ambiguous name groups; must match the server's graph")
+	numDocs := fs.Int("numdocs", 700, "generated document pool size (cycled when -docs exceeds it)")
+	waitReady := fs.Duration("wait-ready", 0, "poll /v1/readyz up to this long before starting (0 = don't wait)")
+	maxFailures := fs.Int("max-failures", -1, "exit non-zero when a mode exceeds this many failed documents (-1 = don't enforce)")
+	jsonPath := fs.String("json", "", "also write the report as JSON to this file")
+	fs.Parse(args)
+
+	if *mode != "single" && *mode != "batch" && *mode != "both" {
+		return fmt.Errorf("loadgen: unknown -mode %q (want single, batch or both)", *mode)
+	}
+	base := strings.TrimRight(*addr, "/")
+
+	netCfg := synth.DefaultDBLPConfig()
+	netCfg.Seed = *seed
+	netCfg.RegularAuthors = *authors
+	netCfg.AmbiguousGroups = *groups
+	docCfg := synth.DefaultDocConfig()
+	docCfg.Seed = *seed + 1
+	docCfg.NumDocs = *numDocs
+	ds, err := synth.BuildDataset(netCfg, docCfg)
+	if err != nil {
+		return err
+	}
+	pool := ds.RawDocs
+	fmt.Printf("generated %d documents (seed %d); target %s\n", len(pool), *seed, base)
+
+	client := &http.Client{} // batch responses stream; no client deadline
+	if *waitReady > 0 {
+		if err := waitForReady(client, base, *waitReady); err != nil {
+			return err
+		}
+	}
+
+	report := loadReport{Target: base, Docs: *docs, Concurrency: *concurrency, Rate: *rate}
+	runs := []string{*mode}
+	if *mode == "both" {
+		runs = []string{"single", "batch"}
+	}
+	for _, m := range runs {
+		var res *modeResult
+		var err error
+		switch m {
+		case "single":
+			res, err = runSingle(client, base, pool, *docs, *concurrency, *rate, *warmup)
+		case "batch":
+			res, err = runBatch(client, base, pool, *docs, *concurrency, *rate)
+		}
+		if err != nil {
+			return fmt.Errorf("loadgen %s: %w", m, err)
+		}
+		report.Modes = append(report.Modes, *res)
+		fmt.Printf("%-7s %8.1f docs/sec   p50 %6.2fms  p95 %6.2fms  p99 %6.2fms   %d/%d failed (%.2fs wall)\n",
+			m, res.DocsPerSec, res.P50Millis, res.P95Millis, res.P99Millis, res.Failures, res.Docs, res.Seconds)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(report)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", *jsonPath, err)
+		}
+	}
+	if *maxFailures >= 0 {
+		for _, res := range report.Modes {
+			if res.Failures > *maxFailures {
+				return fmt.Errorf("loadgen: %s mode failed %d documents (limit %d)", res.Mode, res.Failures, *maxFailures)
+			}
+		}
+	}
+	return nil
+}
+
+// loadReport is the machine-readable output of one loadgen run.
+type loadReport struct {
+	Target      string       `json:"target"`
+	Docs        int          `json:"docs"`
+	Concurrency int          `json:"concurrency"`
+	Rate        float64      `json:"rate,omitempty"`
+	Modes       []modeResult `json:"modes"`
+}
+
+// modeResult is the measurement for one endpoint mode.
+type modeResult struct {
+	Mode       string  `json:"mode"`
+	Docs       int     `json:"docs"`
+	Failures   int     `json:"failures"`
+	Seconds    float64 `json:"seconds"`
+	DocsPerSec float64 `json:"docs_per_sec"`
+	P50Millis  float64 `json:"p50_ms"`
+	P95Millis  float64 `json:"p95_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+}
+
+// waitForReady polls /v1/readyz until the server answers 200 or the
+// deadline passes — lets a fresh `shine serve` finish booting before
+// the load starts.
+func waitForReady(client *http.Client, base string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(base + "/v1/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v", base, wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// rateGate returns a channel ticking at the target docs/sec, or nil
+// for unlimited load (a nil channel never blocks the senders' select).
+func rateGate(ctx context.Context, rate float64) <-chan struct{} {
+	if rate <= 0 {
+		return nil
+	}
+	ch := make(chan struct{})
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				close(ch)
+				return
+			case <-tick.C:
+				select {
+				case ch <- struct{}{}:
+				case <-ctx.Done():
+					close(ch)
+					return
+				}
+			}
+		}
+	}()
+	return ch
+}
+
+// runSingle drives POST /v1/link with one request per document from a
+// pool of worker goroutines, recording per-request latency.
+func runSingle(client *http.Client, base string, pool []synth.RawDoc, docs, concurrency int, rate float64, warmup int) (*modeResult, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	post := func(rd synth.RawDoc) (int, error) {
+		body, _ := json.Marshal(struct {
+			Mention string `json:"mention"`
+			Text    string `json:"text"`
+		}{rd.Mention, rd.Text})
+		resp, err := client.Post(base+"/v1/link", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// Warmup: serial, untimed, primes the server's caches and the
+	// client's connection pool.
+	for i := 0; i < warmup; i++ {
+		if _, err := post(pool[i%len(pool)]); err != nil {
+			return nil, fmt.Errorf("warmup request: %w", err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gate := rateGate(ctx, rate)
+	jobs := make(chan synth.RawDoc)
+	latencies := make([]time.Duration, docs)
+	var next, failures int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rd := range jobs {
+				if gate != nil {
+					<-gate
+				}
+				slot := atomic.AddInt64(&next, 1) - 1
+				t0 := time.Now()
+				code, err := post(rd)
+				latencies[slot] = time.Since(t0)
+				if err != nil || code != http.StatusOK {
+					atomic.AddInt64(&failures, 1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < docs; i++ {
+		jobs <- pool[i%len(pool)]
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+	return summarize("single", docs, int(failures), wall, latencies), nil
+}
+
+// runBatch streams the documents through POST /v1/link/batch as
+// concurrent NDJSON streams, recording per-line completion gaps as the
+// per-document latency proxy (the pipeline overlaps work, so a line's
+// inter-arrival gap is its marginal service time).
+func runBatch(client *http.Client, base string, pool []synth.RawDoc, docs, concurrency int, rate float64) (*modeResult, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if concurrency > docs {
+		concurrency = docs
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gate := rateGate(ctx, rate)
+
+	type streamOut struct {
+		latencies []time.Duration
+		answered  int
+		failures  int
+		err       error
+	}
+	outs := make([]streamOut, concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		// Split the document load across the streams; the first
+		// streams take the remainder.
+		share := docs / concurrency
+		if w < docs%concurrency {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			outs[w] = driveBatchStream(client, base, pool, w, share, gate)
+		}(w, share)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var latencies []time.Duration
+	answered, failures := 0, 0
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		latencies = append(latencies, o.latencies...)
+		answered += o.answered
+		failures += o.failures
+	}
+	// Lines the server never answered (cut stream) count as failures.
+	failures += docs - answered
+	return summarize("batch", docs, failures, wall, latencies), nil
+}
+
+// driveBatchStream runs one NDJSON request. The request body is
+// composed up front (HTTP/1.x clients are not full-duplex: once the
+// server's streamed response begins, the transport stops sending the
+// rest of a piped request body, silently truncating the batch); the
+// rate gate therefore paces document admission, not upload bytes. The
+// response is read line by line as the server flushes it.
+func driveBatchStream(client *http.Client, base string, pool []synth.RawDoc, stream, share int, gate <-chan struct{}) (out struct {
+	latencies []time.Duration
+	answered  int
+	failures  int
+	err       error
+}) {
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for i := 0; i < share; i++ {
+		if gate != nil {
+			<-gate
+		}
+		rd := pool[(stream+i*7)%len(pool)]
+		line := struct {
+			ID      string `json:"id"`
+			Mention string `json:"mention"`
+			Text    string `json:"text"`
+		}{fmt.Sprintf("s%d-%d", stream, i), rd.Mention, rd.Text}
+		if err := enc.Encode(line); err != nil {
+			out.err = err
+			return
+		}
+	}
+
+	resp, err := client.Post(base+"/v1/link/batch", "application/x-ndjson", &body)
+	if err != nil {
+		out.err = err
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		out.err = fmt.Errorf("batch stream: status %d: %s", resp.StatusCode, body)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sawTrailer := false
+	prev := time.Now()
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		if bytes.Contains(raw, []byte(`"summary"`)) {
+			var tr struct {
+				Summary struct {
+					Docs     int `json:"docs"`
+					Failures int `json:"failures"`
+				} `json:"summary"`
+			}
+			if err := json.Unmarshal(raw, &tr); err == nil {
+				sawTrailer = true
+				out.failures += tr.Summary.Failures
+			}
+			continue
+		}
+		now := time.Now()
+		out.latencies = append(out.latencies, now.Sub(prev))
+		prev = now
+		out.answered++
+	}
+	if err := sc.Err(); err != nil {
+		out.err = fmt.Errorf("batch stream: reading response: %w", err)
+		return
+	}
+	if !sawTrailer {
+		out.err = fmt.Errorf("batch stream: response ended without a summary trailer (cut stream)")
+	}
+	return
+}
+
+// summarize folds raw latencies into the per-mode report row.
+func summarize(mode string, docs, failures int, wall time.Duration, latencies []time.Duration) *modeResult {
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	res := &modeResult{
+		Mode:      mode,
+		Docs:      docs,
+		Failures:  failures,
+		Seconds:   wall.Seconds(),
+		P50Millis: pct(0.50),
+		P95Millis: pct(0.95),
+		P99Millis: pct(0.99),
+	}
+	if wall > 0 {
+		res.DocsPerSec = float64(docs) / wall.Seconds()
+	}
+	return res
+}

@@ -75,6 +75,8 @@ func main() {
 		err = cmdSnapshot(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "help", "-h", "--help":
 		usage(os.Stdout)
 	default:
@@ -152,6 +154,14 @@ Commands:
          Regenerate a paper experiment. Names: table2, table3, table4,
          table5, fig3, fig4, fig5, fig6, lambda, pruning, sgd,
          calibration, ambiguity, nil, noise, significance, uwalk, imdb, all.
+  loadgen -addr URL [-mode single|batch|both] [-docs N] [-concurrency N]
+         [-rate F] [-warmup N] [-seed N] [-authors N] [-groups N]
+         [-numdocs N] [-wait-ready D] [-max-failures N] [-json FILE]
+         Drive a running server with synthetic documents and report
+         end-to-end docs/sec and p50/p95/p99 latency per endpoint
+         (/v1/link and the /v1/link/batch NDJSON stream). The dataset
+         flags must match the server's "shine gen" flags so mentions
+         resolve; -max-failures 0 turns the run into a smoke check.
 `)
 }
 

@@ -73,3 +73,8 @@ func (w *statusRecorder) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap exposes the wrapped writer to http.ResponseController, so
+// streaming handlers behind the middleware can still flush and enable
+// full-duplex mode.
+func (w *statusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }

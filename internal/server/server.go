@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	POST /v1/link        {"mention": "...", "text": "..."}      -> linking result
+//	POST /v1/link/batch  NDJSON stream of link requests         -> NDJSON result stream
 //	POST /v1/annotate    {"text": "..."}                        -> annotations
 //	POST /v1/explain     {"mention": "...", "text": "..."}      -> evidence breakdown
 //	GET  /v1/candidates?mention=NAME[&loose=1|&fuzzy=1]         -> candidate entities
@@ -97,6 +98,12 @@ type Server struct {
 	// maxBodyBytes bounds request bodies; documents are pages, not
 	// uploads.
 	maxBodyBytes int64
+	// maxLineBytes bounds one NDJSON line on /v1/link/batch — the
+	// batch body as a whole is unbounded by design.
+	maxLineBytes int64
+	// batchWorkers is the LinkStream fan-out width for /v1/link/batch
+	// (0 = GOMAXPROCS).
+	batchWorkers int
 	// nilPrior, when positive, makes /v1/link NIL-aware.
 	nilPrior float64
 	// logger, when set, records one line per request.
@@ -121,8 +128,19 @@ type Server struct {
 
 // Options configures the server.
 type Options struct {
-	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	// MaxBodyBytes bounds request bodies (default 1 MiB). It does not
+	// apply to /v1/link/batch, whose body is a stream bounded per
+	// line by MaxLineBytes instead.
 	MaxBodyBytes int64
+	// MaxLineBytes bounds a single NDJSON line on /v1/link/batch
+	// (default 256 KiB). An oversized first line is answered 413; an
+	// oversized later line becomes a per-line error record in the
+	// output stream.
+	MaxLineBytes int64
+	// BatchWorkers is the worker-pool width /v1/link/batch pipelines
+	// documents through (0 = GOMAXPROCS). Batch memory is
+	// O(BatchWorkers), never O(documents).
+	BatchWorkers int
 	// NILPrior, when positive, enables NIL detection on /v1/link with
 	// this prior.
 	NILPrior float64
@@ -221,6 +239,12 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 1 << 20
 	}
+	if opts.MaxLineBytes <= 0 {
+		opts.MaxLineBytes = 256 << 10
+	}
+	if opts.BatchWorkers < 0 {
+		return nil, fmt.Errorf("server: negative batch workers %d", opts.BatchWorkers)
+	}
 	if opts.NILPrior < 0 || opts.NILPrior >= 1 {
 		return nil, fmt.Errorf("server: NIL prior %v outside [0, 1)", opts.NILPrior)
 	}
@@ -247,6 +271,8 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 		fuzzyDistance:  opts.FuzzyDistance,
 		snapshotPath:   opts.SnapshotPath,
 		maxBodyBytes:   opts.MaxBodyBytes,
+		maxLineBytes:   opts.MaxLineBytes,
+		batchWorkers:   opts.BatchWorkers,
 		nilPrior:       opts.NILPrior,
 		logger:         opts.Logger,
 		metrics:        reg,
@@ -281,6 +307,7 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 	// (deadline + admission control); ops endpoints do not — a load
 	// balancer must still reach readiness while requests are shedding.
 	s.route(http.MethodPost, "/v1/link", s.guard(s.handleLink))
+	s.route(http.MethodPost, "/v1/link/batch", s.guard(s.handleLinkBatch))
 	s.route(http.MethodPost, "/v1/annotate", s.guard(s.handleAnnotate))
 	s.route(http.MethodPost, "/v1/explain", s.guard(s.handleExplain))
 	s.route(http.MethodGet, "/v1/candidates", s.guard(s.handleCandidates))
@@ -368,6 +395,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the wrapped writer to http.ResponseController, so
+// streaming handlers (/v1/link/batch) can flush per line and enable
+// full-duplex mode through the logging/recovery wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // linkRequest is the body of /v1/link and /v1/explain.
 type linkRequest struct {

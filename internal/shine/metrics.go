@@ -76,6 +76,19 @@ const (
 	// MetricCandidatesSeconds is the candidate-lookup latency
 	// histogram, fuzzy fallback included.
 	MetricCandidatesSeconds = "shine_candidates_seconds"
+	// MetricStreamDocs counts documents emitted by LinkStream
+	// pipelines (results the consumer actually received; documents
+	// discarded by cancellation are not counted).
+	MetricStreamDocs = "shine_stream_docs_total"
+	// MetricStreamInFlight gauges documents currently inside a
+	// LinkStream pipeline — dispatched but not yet emitted (or
+	// discarded). Bounded by 2×workers per stream by construction.
+	MetricStreamInFlight = "shine_stream_inflight"
+	// MetricStreamSeconds is the per-document pipeline residency
+	// histogram: dispatch to emission, queueing and reordering
+	// included. Contrast with shine_link_seconds, which times only
+	// the link computation itself.
+	MetricStreamSeconds = "shine_stream_seconds"
 )
 
 // candidateBuckets bound the candidate-set-size histogram; ambiguity
@@ -101,6 +114,9 @@ type modelMetrics struct {
 	candLookups    *obs.Counter
 	candFuzzy      *obs.Counter
 	candSeconds    *obs.Histogram
+	streamDocs     *obs.Counter
+	streamInFlight *obs.Gauge
+	streamSeconds  *obs.Histogram
 }
 
 // SetMetrics instruments the model against a registry: link latency,
@@ -136,6 +152,9 @@ func (m *Model) SetMetrics(reg *obs.Registry) {
 		candLookups:    reg.Counter(MetricCandidatesLookups),
 		candFuzzy:      reg.Counter(MetricCandidatesFuzzy),
 		candSeconds:    reg.Histogram(MetricCandidatesSeconds, nil),
+		streamDocs:     reg.Counter(MetricStreamDocs),
+		streamInFlight: reg.Gauge(MetricStreamInFlight),
+		streamSeconds:  reg.Histogram(MetricStreamSeconds, nil),
 	}
 	// The offline PageRank ran during construction, before any
 	// registry was attached; publish the recorded run so the gauges
@@ -217,6 +236,34 @@ func (mm *modelMetrics) observeEMPrepare(start time.Time) {
 		return
 	}
 	mm.emPrepSeconds.ObserveSince(start)
+}
+
+// streamDispatch records one document entering a LinkStream pipeline
+// and returns the dispatch timestamp for the residency histogram.
+// Safe on a nil receiver (returns the zero time, which streamSettle
+// treats as "uninstrumented").
+func (mm *modelMetrics) streamDispatch() time.Time {
+	if mm == nil {
+		return time.Time{}
+	}
+	mm.streamInFlight.Add(1)
+	return time.Now()
+}
+
+// streamSettle records one document leaving a LinkStream pipeline:
+// emitted to the consumer, or discarded by cancellation. Safe on a
+// nil receiver.
+func (mm *modelMetrics) streamSettle(start time.Time, emitted bool) {
+	if mm == nil {
+		return
+	}
+	mm.streamInFlight.Add(-1)
+	if emitted {
+		mm.streamDocs.Inc()
+		if !start.IsZero() {
+			mm.streamSeconds.ObserveSince(start)
+		}
+	}
 }
 
 // observeBatchFailures records per-document failures from a batch

@@ -3,65 +3,11 @@ package shine
 import (
 	"context"
 	"fmt"
-	"sync"
-
-	"shine/internal/corpus"
 )
 
-// LinkAllParallel links every document using the given number of
-// worker goroutines, returning results in document order — identical
-// to LinkAll's output, faster on multi-core machines. workers <= 0
-// uses GOMAXPROCS. The paper's implementation is single-threaded
-// ("we do not utilize the parallel computing technique"); linking is
-// embarrassingly parallel, so a serving deployment should not be.
-//
-// The second return value counts documents that failed to link
-// (their Result has Entity == hin.NoObject); it is non-zero for
-// degraded batches even when the call as a whole succeeds, and is
-// also recorded in the shine_link_batch_failures_total metric on an
-// instrumented model. The error is non-nil only when every document
-// fails.
-func (m *Model) LinkAllParallel(c *corpus.Corpus, workers int) ([]Result, int, error) {
-	n := c.Len()
-	if n == 0 {
-		return nil, 0, nil
-	}
-	// Clamp rather than trust the caller: a zero/negative request
-	// takes GOMAXPROCS and the pool never exceeds the document count,
-	// so no worker configuration can stall the job channel.
-	workers = clampWorkers(workers, n)
-	results := make([]Result, n)
-	errs := make([]error, n)
-
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i], errs[i] = m.Link(c.Docs[i])
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	failures := 0
-	for _, err := range errs {
-		if err != nil {
-			failures++
-		}
-	}
-	m.metrics.observeBatchFailures(failures)
-	if failures == n && n > 0 {
-		return results, failures, fmt.Errorf("shine: all %d mentions failed to link", failures)
-	}
-	return results, failures, nil
-}
+// Batch linking lives in stream.go: LinkAllParallel and
+// LinkAllParallelContext are thin order-preserving collectors over
+// the LinkStream worker pool.
 
 // PrecomputeMixtures eagerly builds the frozen mixture index for every
 // entity of the model's entity type under the current weights, fanning

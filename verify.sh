@@ -7,11 +7,12 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 go test -race ./...
-# Smoke the serving-path, offline-pipeline, snapshot and
-# candidate-index benchmarks (one iteration each) so they cannot rot
+# Smoke the serving-path, offline-pipeline, snapshot, candidate-index
+# and streaming benchmarks (one iteration each) so they cannot rot
 # between perf PRs; real numbers live in BENCH_link.json,
-# BENCH_offline.json, BENCH_snapshot.json and BENCH_candidates.json.
-go test -run=NONE -bench='Link|PageRank|Build|Snapshot|Candidates' -benchtime=1x .
+# BENCH_offline.json, BENCH_snapshot.json, BENCH_candidates.json and
+# BENCH_stream.json.
+go test -run=NONE -bench='Link|PageRank|Build|Snapshot|Candidates|Stream' -benchtime=1x .
 # Route/metrics contract guard: every /v1 route answers wrong methods
 # with 405 + Allow, and the request-lifecycle series are present in
 # the /metrics exposition from the first scrape.
@@ -19,10 +20,12 @@ go test -race -run 'TestMethodEnforcement|TestMetricsLifecycleSeries' ./internal
 # Fuzz smokes, five seconds each: the snapshot reader must never panic
 # or over-allocate on hostile headers; the name parser must keep its
 # invariants on arbitrary bytes; every trie lookup mode must stay
-# equivalent to (or a superset of) the brute-force oracle.
+# equivalent to (or a superset of) the brute-force oracle; the NDJSON
+# batch-line parser must never panic or accept an empty mention.
 go test -fuzz=FuzzReadBytes -fuzztime=5s -run=FuzzReadBytes ./internal/snapshot/
 go test -fuzz=FuzzParse -fuzztime=5s -run=FuzzParse ./internal/namematch/
 go test -fuzz=FuzzTrieLookup -fuzztime=5s -run=FuzzTrieLookup ./internal/surftrie/
+go test -fuzz=FuzzNDJSONLine -fuzztime=5s -run=FuzzNDJSONLine ./internal/server/
 # Snapshot CLI round trip: build an artifact from a generated dataset,
 # inspect it, and link from it — the binary boot path end to end.
 SNAPTMP=$(mktemp -d)
@@ -32,3 +35,20 @@ go build -o "$SNAPTMP/shine" ./cmd/shine
 "$SNAPTMP/shine" snapshot build -graph "$SNAPTMP/g.hin" -docs "$SNAPTMP/d.json" -out "$SNAPTMP/m.snap"
 "$SNAPTMP/shine" snapshot inspect "$SNAPTMP/m.snap"
 "$SNAPTMP/shine" link -snapshot "$SNAPTMP/m.snap" -docs "$SNAPTMP/d.json" | tail -1
+# Loadgen smoke: boot a server from the artifact and push the same
+# synthetic documents through /v1/link and the /v1/link/batch NDJSON
+# stream over real HTTP. -max-failures 0 makes any unlinked document,
+# truncated stream or missing summary trailer fail the gate.
+SERVEPORT=$((19500 + $$ % 500))   # per-run port: a stale server can't shadow us
+"$SNAPTMP/shine" serve -snapshot "$SNAPTMP/m.snap" -addr "127.0.0.1:$SERVEPORT" >"$SNAPTMP/serve.log" 2>&1 &
+SERVEPID=$!
+trap 'kill "$SERVEPID" 2>/dev/null; rm -rf "$SNAPTMP"' EXIT
+sleep 1
+# A dead server here means the boot failed or the port is taken —
+# either way loadgen would test the wrong thing, so fail loudly with
+# the server's own log.
+kill -0 "$SERVEPID" || { cat "$SNAPTMP/serve.log"; exit 1; }
+"$SNAPTMP/shine" loadgen -addr "http://127.0.0.1:$SERVEPORT" -docs 200 -concurrency 4 \
+  -warmup 10 -seed 7 -authors 40 -numdocs 20 -wait-ready 30s -max-failures 0 \
+  -json "$SNAPTMP/loadgen.json"
+kill "$SERVEPID"
