@@ -77,6 +77,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "loadgen":
 		err = cmdLoadgen(os.Args[2:])
+	case "update":
+		err = cmdUpdate(os.Args[2:])
 	case "help", "-h", "--help":
 		usage(os.Stdout)
 	default:
@@ -162,6 +164,18 @@ Commands:
          (/v1/link and the /v1/link/batch NDJSON stream). The dataset
          flags must match the server's "shine gen" flags so mentions
          resolve; -max-failures 0 turns the run into a smoke check.
+  update -addr URL [-in FILE] [-timeout D]
+         Apply an incremental graph delta to a running server via
+         POST /v1/admin/update. The input (a file, or stdin with
+         "-") is NDJSON, one operation per line:
+           {"op":"object","type":"paper","name":"p-9"}
+           {"op":"edge","rel":"write","src":{"type":"author","name":"A"},
+            "dst":{"type":"paper","name":"p-9"}}
+         The batch is transactional (a bad line rejects it all), a
+         concurrent reload or update answers 409, and the server
+         splices the delta into the serving graph in place of a full
+         rebuild: CSR merge, warm-started PageRank and per-entity
+         cache invalidation.
 `)
 }
 

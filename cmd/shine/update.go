@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// cmdUpdate pushes an NDJSON graph delta batch to a running server's
+// POST /v1/admin/update — the operational face of incremental HIN
+// updates. The batch is applied transactionally: a malformed line
+// rejects the whole batch, a concurrent reload or update answers 409,
+// and on success the server prints the update stats it returned (new
+// objects/edges, invalidation ball size, cache survival counts,
+// warm-PageRank sweeps).
+func cmdUpdate(args []string) error {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the server to update")
+	in := fs.String("in", "-", "NDJSON delta file (\"-\" reads stdin)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "request deadline")
+	fs.Parse(args)
+
+	var body io.Reader
+	if *in == "-" {
+		body = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		body = f
+	}
+
+	url := strings.TrimRight(*addr, "/") + "/v1/admin/update"
+	req, err := http.NewRequest(http.MethodPost, url, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("update: %w", err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("update: reading response: %w", err)
+	}
+	out := strings.TrimSpace(string(payload))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("update: server answered %s: %s", resp.Status, out)
+	}
+	fmt.Println(out)
+	return nil
+}

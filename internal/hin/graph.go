@@ -173,14 +173,46 @@ func (b *Builder) Build() *Graph {
 	// Cache the per-object total out-degree (the PageRank out-degree
 	// N_v) once: Stats, TotalDegree and the pull-based PageRank kernel
 	// all read this array instead of rescanning every relation.
+	g.sealDegrees()
+	return g
+}
+
+// sealDegrees (re)computes the total-degree cache from the adjacency
+// arrays and records the adjacency checksum that guards it. Every path
+// that constructs or splices the CSR (Build, FromParts, MergeDeltas)
+// must call this last; checkDegreeCache compares the checksum against
+// the live arrays so a mutation that bypasses those paths fails loudly
+// instead of silently skewing PageRank's 1/N_v column norms.
+func (g *Graph) sealDegrees() {
+	n := len(g.typeOf)
 	g.totalDeg = make([]int32, n)
+	var sum int64
 	for rel := range g.rels {
 		off := g.rels[rel].off
 		for v := 0; v < n; v++ {
 			g.totalDeg[v] += off[v+1] - off[v]
 		}
+		sum += int64(len(g.rels[rel].adj))
 	}
-	return g
+	g.degSum = sum
+}
+
+// checkDegreeCache panics if the adjacency arrays no longer match the
+// checksum recorded when the total-degree cache was sealed. Graphs are
+// immutable; the only supported growth paths are a Builder rebuild and
+// Append/MergeDeltas, both of which reseal the cache. The check is
+// O(relations) — a handful of slice-length reads — so the hot callers
+// (one call per PageRank run) pay nothing measurable. It cannot catch
+// an in-place overwrite that keeps lengths unchanged, but every
+// append-style mutation (the realistic bypass) changes a length.
+func (g *Graph) checkDegreeCache() {
+	var sum int64
+	for rel := range g.rels {
+		sum += int64(len(g.rels[rel].adj))
+	}
+	if sum != g.degSum {
+		panic(fmt.Sprintf("hin: total-degree cache is stale: adjacency holds %d directed links but the cache was sealed over %d — graphs are immutable; grow them through Graph.Append/MergeDeltas or a Builder", sum, g.degSum))
+	}
 }
 
 // buildCSR constructs a CSR adjacency over n nodes from the edge list.
@@ -244,6 +276,10 @@ type Graph struct {
 	// totalDeg caches the total out-degree of every object across all
 	// relations, computed once at Build time.
 	totalDeg []int32
+	// degSum is the total directed-link count the totalDeg cache was
+	// computed over; checkDegreeCache compares it against the live
+	// adjacency lengths to catch mutations that bypass sealDegrees.
+	degSum int64
 }
 
 // Schema returns the network schema the graph was built over.
@@ -302,16 +338,22 @@ func (g *Graph) Degree(rel RelationID, v ObjectID) int {
 
 // TotalDegree returns the number of outgoing links of v summed over
 // all relations (every link contributes to exactly one relation in
-// each direction, so this is the PageRank out-degree N_v).
+// each direction, so this is the PageRank out-degree N_v). It panics
+// if the degree cache has gone stale (see checkDegreeCache).
 func (g *Graph) TotalDegree(v ObjectID) int {
+	g.checkDegreeCache()
 	return int(g.totalDeg[v])
 }
 
 // TotalDegrees returns the total out-degree of every object, indexed
 // by ObjectID — the column norms of the PageRank link matrix B,
 // computed once at Build time. The returned slice is shared and must
-// not be modified.
-func (g *Graph) TotalDegrees() []int32 { return g.totalDeg }
+// not be modified. It panics if the degree cache has gone stale (see
+// checkDegreeCache).
+func (g *Graph) TotalDegrees() []int32 {
+	g.checkDegreeCache()
+	return g.totalDeg
+}
 
 // NumRelations returns the number of directed relations the graph
 // stores adjacency for (forward and inverse relations both count).

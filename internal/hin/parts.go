@@ -125,12 +125,6 @@ func FromParts(p GraphParts) (*Graph, error) {
 		}
 		g.nameIndex[key] = ObjectID(v)
 	}
-	g.totalDeg = make([]int32, n)
-	for rel := range g.rels {
-		off := g.rels[rel].off
-		for v := 0; v < n; v++ {
-			g.totalDeg[v] += off[v+1] - off[v]
-		}
-	}
+	g.sealDegrees()
 	return g, nil
 }

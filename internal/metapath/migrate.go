@@ -1,0 +1,70 @@
+package metapath
+
+import (
+	"container/list"
+
+	"shine/internal/hin"
+	"shine/internal/sparse"
+)
+
+// MigrateStats reports what CloneFor carried across generations.
+type MigrateStats struct {
+	Kept    int // cached distributions migrated to the new walker
+	Dropped int // cached distributions discarded by the keep predicate
+}
+
+// CloneFor builds a Walker over g — typically the merged graph of a
+// delta — seeded with the cache entries of w whose source entity keep
+// accepts. A walk distribution depends only on the rows reachable from
+// its entity within the path length, so after a small graph delta most
+// cached walks are still exact; the caller passes a keep predicate that
+// rejects exactly the entities whose walks could have changed (see
+// shine's per-entity invalidation) and every other entry survives the
+// generation swap as a warm hit instead of a recomputation.
+//
+// The clone mirrors w's shard layout — shard count and per-shard
+// capacity — so shardFor assigns every surviving key to the same
+// stripe, and entries are re-inserted in recency order, so the new
+// LRU evicts in the same order the old one would have. Hit/miss and
+// walk counters carry over: the clone continues the lineage of the
+// walker it replaces rather than resetting monitoring series. A nil
+// keep keeps everything. w is only read (under each shard's lock), so
+// CloneFor is safe against concurrent walks on the old generation;
+// the cached sparse.Dist values are frozen and shared, not copied.
+func (w *Walker) CloneFor(g *hin.Graph, keep func(hin.ObjectID) bool) (*Walker, MigrateStats) {
+	nw := &Walker{g: g, accums: sparse.NewAccumPool(g.NumObjects())}
+	nw.walks.Store(w.walks.Load())
+	nw.hops.Store(w.hops.Load())
+	nw.canceled.Store(w.canceled.Load())
+
+	var stats MigrateStats
+	if w.shards == nil {
+		return nw, stats
+	}
+	nw.shards = make([]*walkShard, len(w.shards))
+	for i, src := range w.shards {
+		dst := &walkShard{
+			cache: make(map[walkKey]*list.Element),
+			order: list.New(),
+		}
+		src.mu.Lock()
+		dst.capacity = src.capacity
+		dst.hits = src.hits
+		dst.misses = src.misses
+		dst.evictions = src.evictions
+		// Walk LRU→MRU and push to the front so the clone's recency
+		// order matches the source's with the dropped entries elided.
+		for el := src.order.Back(); el != nil; el = el.Prev() {
+			ent := el.Value.(*cacheEntry)
+			if keep != nil && !keep(ent.key.entity) {
+				stats.Dropped++
+				continue
+			}
+			dst.cache[ent.key] = dst.order.PushFront(&cacheEntry{key: ent.key, dist: ent.dist})
+			stats.Kept++
+		}
+		src.mu.Unlock()
+		nw.shards[i] = dst
+	}
+	return nw, stats
+}

@@ -53,6 +53,19 @@ type Options struct {
 	// is an execution knob, not model state, and is excluded from
 	// saved models.
 	Workers int `json:"-"`
+	// Warm, when non-nil, is the starting iterate for the power
+	// iteration instead of the uniform vector — typically the
+	// converged scores of a previous, slightly different revision of
+	// the graph. It may be shorter than the graph (objects past its
+	// end start at the uniform score) and is renormalised to sum to 1.
+	// Warm-starting changes the iteration path, not the fixed point:
+	// the result still converges to the same Tolerance. Execution
+	// state, not model state; excluded from saved models.
+	Warm []float64 `json:"-"`
+	// MaxPushes bounds the residual-queue pushes Refine performs
+	// between its seed sweep and the certifying sweeps; 0 selects
+	// 64×NumObjects. Execution knob; excluded from saved models.
+	MaxPushes int `json:"-"`
 }
 
 // DefaultOptions returns the paper's configuration: λ = 0.2, with a
@@ -74,6 +87,9 @@ func (o Options) validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("pagerank: workers %d negative (0 = GOMAXPROCS)", o.Workers)
 	}
+	if o.MaxPushes < 0 {
+		return fmt.Errorf("pagerank: max pushes %d negative (0 = default)", o.MaxPushes)
+	}
 	return nil
 }
 
@@ -88,6 +104,9 @@ type Result struct {
 	// Converged reports whether Delta fell below the tolerance before
 	// MaxIterations was reached.
 	Converged bool
+	// Pushes is the number of residual-queue pushes performed; always
+	// zero for Compute, see Refine.
+	Pushes int
 }
 
 // sweepBlock is the fixed vertex-block size of the pull sweep. Each
@@ -98,11 +117,111 @@ type Result struct {
 // overhead amortises over whole adjacency rows.
 const sweepBlock = 512
 
+// kernel bundles everything one pull sweep needs: the inverted column
+// norms, the dangling-object list and the flat CSR row snapshots. Both
+// Compute and Refine iterate through the same kernel, so the warm path
+// is the same arithmetic in the same order as the cold one.
+type kernel struct {
+	n       int
+	lambda  float64
+	initial float64
+	workers int
+
+	// invOutDeg is 1/N_v, or 0 for dangling objects — the column norms
+	// of B inverted once so the inner loop multiplies instead of
+	// dividing per edge. Dangling objects (1/N_v undefined) are listed
+	// by index so iterations never rescan all of V for them.
+	invOutDeg []float64
+	dangling  []int32
+
+	nrel int
+	offs [][]int32
+	adjs [][]hin.ObjectID
+}
+
+func newKernel(g *hin.Graph, opts Options) *kernel {
+	n := g.NumObjects()
+	k := &kernel{
+		n:       n,
+		lambda:  opts.Lambda,
+		initial: 1.0 / float64(n),
+		workers: par.ClampWorkers(opts.Workers, par.NumBlocks(n, sweepBlock)),
+	}
+
+	// The out-degrees are shared from the graph's Build-time cache.
+	outDeg := g.TotalDegrees()
+	k.invOutDeg = make([]float64, n)
+	for v, d := range outDeg {
+		if d == 0 {
+			k.dangling = append(k.dangling, int32(v))
+		} else {
+			k.invOutDeg[v] = 1 / float64(d)
+		}
+	}
+
+	// Snapshot every relation's CSR rows up front; the sweep indexes
+	// these flat arrays with no per-edge or per-row calls.
+	k.nrel = g.NumRelations()
+	k.offs = make([][]int32, k.nrel)
+	k.adjs = make([][]hin.ObjectID, k.nrel)
+	for r := 0; r < k.nrel; r++ {
+		k.offs[r], k.adjs[r] = g.Rows(hin.RelationID(r))
+	}
+	return k
+}
+
+// iterate performs one pull sweep pr → next and returns the L1 change.
+// When resid is non-nil it also records the per-vertex change
+// next[v]−pr[v], i.e. the exact residual F(pr)−pr that Refine's push
+// phase consumes. The extra store does not perturb the arithmetic:
+// cold Compute results stay bit-identical to the pre-kernel code.
+func (k *kernel) iterate(pr, next, resid []float64) float64 {
+	// Mass from dangling objects is spread uniformly. The list is
+	// typically tiny; the blocked reduction keeps it deterministic
+	// and parallel when it is not.
+	danglingMass := par.ReduceSum(len(k.dangling), par.DefaultBlock, k.workers, func(lo, hi int) float64 {
+		s := 0.0
+		for _, v := range k.dangling[lo:hi] {
+			s += pr[v]
+		}
+		return s
+	})
+	base := k.lambda*k.initial + (1-k.lambda)*danglingMass/float64(k.n)
+
+	// Pull sweep: next[v] = base + (1−λ)·Σ_rel Σ_{u∈N_rel(v)}
+	// pr[u]·invOutDeg[u]. Each vertex's sum accumulates serially in
+	// fixed (relation, adjacency) order, and the per-block L1-delta
+	// partials merge in block order — one fused parallel pass.
+	return par.ReduceSum(k.n, sweepBlock, k.workers, func(lo, hi int) float64 {
+		d := 0.0
+		for v := lo; v < hi; v++ {
+			sum := 0.0
+			for r := 0; r < k.nrel; r++ {
+				off := k.offs[r]
+				for _, u := range k.adjs[r][off[v]:off[v+1]] {
+					sum += pr[u] * k.invOutDeg[u]
+				}
+			}
+			nv := base + (1-k.lambda)*sum
+			next[v] = nv
+			diff := nv - pr[v]
+			if resid != nil {
+				resid[v] = diff
+			}
+			d += math.Abs(diff)
+		}
+		return d
+	})
+}
+
 // Compute runs pull-based power iteration over the whole graph and
 // returns the PageRank score of every object. The result is
 // bit-identical for any Options.Workers value and matches
 // ReferenceCompute up to floating-point summation-order differences
-// (≤ ~1e-12 in practice; the equivalence tests pin 1e-9 L∞).
+// (≤ ~1e-12 in practice; the equivalence tests pin 1e-9 L∞). With
+// Options.Warm set the iteration starts from the supplied vector
+// instead of the uniform one and typically converges in far fewer
+// sweeps; Refine adds a push-based refinement on top for small deltas.
 func Compute(g *hin.Graph, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -111,75 +230,23 @@ func Compute(g *hin.Graph, opts Options) (*Result, error) {
 	if n == 0 {
 		return nil, errors.New("pagerank: empty graph")
 	}
-	workers := par.ClampWorkers(opts.Workers, par.NumBlocks(n, sweepBlock))
+	k := newKernel(g, opts)
 
-	// The out-degrees are the column norms of B, shared from the
-	// graph's Build-time cache. Invert them once: the inner loop then
-	// multiplies instead of dividing per edge, and dangling objects
-	// (1/N_v undefined) are listed by index so iterations never rescan
-	// all of V for them.
-	outDeg := g.TotalDegrees()
-	invOutDeg := make([]float64, n)
-	var dangling []int32
-	for v, d := range outDeg {
-		if d == 0 {
-			dangling = append(dangling, int32(v))
-		} else {
-			invOutDeg[v] = 1 / float64(d)
-		}
-	}
-
-	// Snapshot every relation's CSR rows up front; the sweep indexes
-	// these flat arrays with no per-edge or per-row calls.
-	nrel := g.NumRelations()
-	offs := make([][]int32, nrel)
-	adjs := make([][]hin.ObjectID, nrel)
-	for r := 0; r < nrel; r++ {
-		offs[r], adjs[r] = g.Rows(hin.RelationID(r))
-	}
-
-	initial := 1.0 / float64(n)
 	pr := make([]float64, n)
 	next := make([]float64, n)
-	for v := range pr {
-		pr[v] = initial
+	if opts.Warm != nil {
+		if err := warmInit(pr, opts.Warm); err != nil {
+			return nil, err
+		}
+	} else {
+		for v := range pr {
+			pr[v] = k.initial
+		}
 	}
 
 	res := &Result{}
 	for iter := 0; iter < opts.MaxIterations; iter++ {
-		// Mass from dangling objects is spread uniformly. The list is
-		// typically tiny; the blocked reduction keeps it deterministic
-		// and parallel when it is not.
-		danglingMass := par.ReduceSum(len(dangling), par.DefaultBlock, workers, func(lo, hi int) float64 {
-			s := 0.0
-			for _, v := range dangling[lo:hi] {
-				s += pr[v]
-			}
-			return s
-		})
-		base := opts.Lambda*initial + (1-opts.Lambda)*danglingMass/float64(n)
-
-		// Pull sweep: next[v] = base + (1−λ)·Σ_rel Σ_{u∈N_rel(v)}
-		// pr[u]·invOutDeg[u]. Each vertex's sum accumulates serially in
-		// fixed (relation, adjacency) order, and the per-block L1-delta
-		// partials merge in block order — one fused parallel pass.
-		delta := par.ReduceSum(n, sweepBlock, workers, func(lo, hi int) float64 {
-			d := 0.0
-			for v := lo; v < hi; v++ {
-				sum := 0.0
-				for r := 0; r < nrel; r++ {
-					off := offs[r]
-					for _, u := range adjs[r][off[v]:off[v+1]] {
-						sum += pr[u] * invOutDeg[u]
-					}
-				}
-				nv := base + (1-opts.Lambda)*sum
-				next[v] = nv
-				d += math.Abs(nv - pr[v])
-			}
-			return d
-		})
-
+		delta := k.iterate(pr, next, nil)
 		pr, next = next, pr
 		res.Iterations = iter + 1
 		res.Delta = delta

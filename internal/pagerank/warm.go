@@ -1,0 +1,237 @@
+package pagerank
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"shine/internal/hin"
+)
+
+// warmInit fills pr from a previous score vector and renormalises so
+// Σpr = 1 — the invariant the dangling-mass redistribution relies on.
+// Objects past the vector's end (newly appended ones) start at score
+// zero rather than 1/n: padding with the uniform score would rescale
+// every carried-over coordinate and smear a small, local graph delta
+// into a dense global residual, while zero-padding keeps the old
+// coordinates (already at their old fixed point) essentially exact and
+// concentrates the initial residual around the delta — which is what
+// lets Refine's push phase drain it locally. Serial and order-fixed,
+// so warm-started runs stay deterministic across worker counts.
+func warmInit(pr, warm []float64) error {
+	if len(warm) > len(pr) {
+		return fmt.Errorf("pagerank: warm vector has %d scores for %d objects", len(warm), len(pr))
+	}
+	sum := 0.0
+	for i, x := range warm {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return fmt.Errorf("pagerank: warm score %d is %v", i, x)
+		}
+		pr[i] = x
+		sum += x
+	}
+	for i := len(warm); i < len(pr); i++ {
+		pr[i] = 0
+	}
+	if sum <= 0 {
+		return errors.New("pagerank: warm vector sums to zero")
+	}
+	inv := 1 / sum
+	for i := range pr {
+		pr[i] *= inv
+	}
+	return nil
+}
+
+// Refine re-converges PageRank after a small graph change, warm-started
+// from prev (the converged scores of the previous graph revision; it
+// may be shorter than the new graph). Three phases:
+//
+//  1. One seed pull sweep computes the exact residual r = F(p)−p of
+//     the warm iterate without advancing it, where F is the Formula 6
+//     update p ↦ λ·ip + (1−λ)·B·p (with dangling redistribution).
+//  2. A bounded Gauss–Southwell push phase drains the residual where
+//     it is concentrated — around the delta — instead of sweeping all
+//     of V. Pushing m = r[v] moves p* no further away: the invariant
+//     p* = p + (I−Ã)⁻¹·r is maintained exactly (p[v] += m; r[v] = 0;
+//     r[u] += (1−λ)·m/N_v per out-edge), and each push shrinks ‖r‖₁
+//     by at least λ·|m|. Dangling objects are never pushed (their
+//     column of Ã is dense); their residual is left for phase 3.
+//  3. Certifying pull sweeps — plain power iteration — run until the
+//     L1 change falls below Options.Tolerance, exactly Compute's
+//     convergence criterion. The sweep's delta IS ‖F(p)−p‖₁, so after
+//     the push phase drove ‖r‖₁ under Tolerance/2 one sweep certifies.
+//
+// Convergence is therefore inherited from the pull sweeps; the push
+// phase only relocates the iterate closer to the fixed point, and it
+// declines to run at all when the seed residual is already dense (see
+// push) — Refine then degrades gracefully to warm power iteration,
+// which still needs only ~log(‖r₀‖₁/tol)/log(1/(1−λ)) sweeps instead
+// of the cold ~log(1/tol)/log(1/(1−λ)). For a delta whose influence
+// stays local — the common case on a large graph — the push phase
+// drains the residual in O(vol(ball)) work and one or two sweeps
+// certify, to the same tolerance and the same fixed point either way.
+// The result is bit-identical for any Options.Workers value: sweeps
+// use the blocked fixed-order reductions and the push phase is serial
+// with a deterministic FIFO worklist.
+func Refine(g *hin.Graph, opts Options, prev []float64) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumObjects()
+	if n == 0 {
+		return nil, errors.New("pagerank: empty graph")
+	}
+	if len(prev) == 0 {
+		return nil, errors.New("pagerank: Refine needs a previous score vector; use Compute for a cold start")
+	}
+	k := newKernel(g, opts)
+
+	pr := make([]float64, n)
+	if err := warmInit(pr, prev); err != nil {
+		return nil, err
+	}
+	next := make([]float64, n)
+	resid := make([]float64, n)
+
+	res := &Result{}
+	// Phase 1: seed sweep. pr is left in place; next is scratch.
+	delta := k.iterate(pr, next, resid)
+	res.Iterations = 1
+	res.Delta = delta
+	if delta < opts.Tolerance {
+		// The warm iterate was already converged on the new graph;
+		// return the swept vector, as Compute would after its last
+		// iteration.
+		res.Converged = true
+		res.Scores = next
+		return res, nil
+	}
+
+	// Phase 2: bounded push refinement of (pr, resid).
+	res.Pushes = k.push(pr, resid, opts)
+
+	// Phase 3: certifying sweeps.
+	for iter := res.Iterations; iter < opts.MaxIterations; iter++ {
+		delta := k.iterate(pr, next, nil)
+		pr, next = next, pr
+		res.Iterations = iter + 1
+		res.Delta = delta
+		if delta < opts.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = pr
+	return res, nil
+}
+
+// push runs a multi-round Gauss–Southwell residual queue on (p, r)
+// where r is the exact residual F(p)−p. Each round drains every entry
+// above a threshold set relative to the current ‖r‖₁ (entries below it
+// hold ≤ 1/8 of the mass, so a round shrinks the residual about 8×),
+// then re-thresholds and repeats — the standard multi-scale push. It
+// stops when ‖r‖₁ falls under Tolerance/2, the residual goes dense, a
+// round makes no progress, or the push budget runs out, and returns
+// the number of pushes. Serial and deterministic: rounds rescan in
+// ascending ID order and the FIFO worklist grows in fixed adjacency
+// order.
+//
+// Pushing only pays while the residual is concentrated: a push costs
+// deg(v) random-access updates, a pull sweep |E| streaming ones. Once
+// the support covers more than a quarter of the graph the round is
+// abandoned and Refine falls through to certifying sweeps. Note that a
+// delta which adds objects shifts the teleport term λ/n at every
+// vertex, so its residual is dense from the start and push correctly
+// declines; the concentrated regime is the edge-only delta (and the
+// sub-tolerance background of the carried-over vector never clears
+// the round threshold, so it stays with the sweeps either way).
+func (k *kernel) push(p, r []float64, opts Options) int {
+	budget := opts.MaxPushes
+	if budget == 0 {
+		budget = 64 * k.n
+	}
+	target := opts.Tolerance / 2
+	// No round thresholds finer than floor: even if all n entries sat
+	// just below it they would total at most Tolerance/4 < target.
+	floor := opts.Tolerance / (4 * float64(k.n))
+
+	queue := make([]int32, 0, k.n)
+	inQ := make([]bool, k.n)
+	oneMinus := 1 - k.lambda
+	pushes := 0
+
+	for pushes < budget {
+		// Fresh exact norm each round: the incremental tracking below
+		// accumulates cancellation drift over thousands of updates,
+		// and target is only a few ulps above it near convergence.
+		rnorm := 0.0
+		for _, x := range r {
+			rnorm += math.Abs(x)
+		}
+		if rnorm <= target {
+			break
+		}
+		eps := rnorm / (8 * float64(k.n))
+		if eps < floor {
+			eps = floor
+		}
+		queue = queue[:0]
+		for i := range inQ {
+			inQ[i] = false
+		}
+		for v := 0; v < k.n; v++ {
+			if math.Abs(r[v]) > eps {
+				queue = append(queue, int32(v))
+				inQ[v] = true
+			}
+		}
+		if len(queue) > k.n/4 {
+			break // dense residual: sweeps win from here
+		}
+		roundPushes := 0
+		for head := 0; head < len(queue) && rnorm > target && pushes < budget; head++ {
+			// Reclaim the drained prefix once it dominates the
+			// worklist so a long round cannot grow it without bound.
+			if head > 1024 && head > len(queue)/2 {
+				queue = append(queue[:0], queue[head:]...)
+				head = 0
+			}
+			v := queue[head]
+			inQ[v] = false
+			m := r[v]
+			if math.Abs(m) <= eps {
+				continue
+			}
+			if k.invOutDeg[v] == 0 {
+				// Dangling: its column of Ã spreads over all of V, so
+				// a push would cost a whole sweep. Leave the residual
+				// for the certifying sweeps.
+				continue
+			}
+			pushes++
+			roundPushes++
+			r[v] = 0
+			rnorm -= math.Abs(m)
+			p[v] += m
+			c := oneMinus * m * k.invOutDeg[v]
+			for rel := 0; rel < k.nrel; rel++ {
+				off := k.offs[rel]
+				for _, u := range k.adjs[rel][off[v]:off[v+1]] {
+					old := r[u]
+					nu := old + c
+					r[u] = nu
+					rnorm += math.Abs(nu) - math.Abs(old)
+					if !inQ[u] && math.Abs(nu) > eps {
+						inQ[u] = true
+						queue = append(queue, int32(u))
+					}
+				}
+			}
+		}
+		if roundPushes == 0 {
+			break // only dangling or sub-threshold mass left
+		}
+	}
+	return pushes
+}

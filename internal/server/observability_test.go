@@ -37,6 +37,7 @@ func TestMethodEnforcement(t *testing.T) {
 		{"/v1/entity", http.MethodGet},
 		{"/v1/healthz", http.MethodGet},
 		{"/v1/readyz", http.MethodGet},
+		{"/v1/admin/update", http.MethodPost},
 		{"/metrics", http.MethodGet},
 	}
 	methods := []string{

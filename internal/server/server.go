@@ -13,6 +13,8 @@
 //	GET  /v1/entity?id=N                                        -> entity card
 //	GET  /v1/healthz                                            -> liveness
 //	GET  /v1/readyz                                             -> readiness
+//	POST /v1/admin/reload                                       -> snapshot hot swap
+//	POST /v1/admin/update  NDJSON stream of graph delta ops     -> incremental update
 //	GET  /metrics                                               -> Prometheus exposition
 //	GET  /debug/pprof/*                                         -> profiling (opt-in)
 //
@@ -95,6 +97,11 @@ type Server struct {
 	reloadMu sync.Mutex
 	// snap holds the shine_snapshot_* instruments; always non-nil.
 	snap *snapshotMetrics
+	// delta holds the shine_hin_delta_* instruments; always non-nil.
+	delta *deltaMetrics
+	// maxUpdateBytes bounds a whole /v1/admin/update body (per line it
+	// is still maxLineBytes).
+	maxUpdateBytes int64
 	// maxBodyBytes bounds request bodies; documents are pages, not
 	// uploads.
 	maxBodyBytes int64
@@ -199,6 +206,10 @@ type Options struct {
 	// loaded from, when it came from one; logged at startup and
 	// exposed in the /v1/healthz payload.
 	SnapshotInfo *snapshot.Info
+	// MaxUpdateBytes bounds a whole POST /v1/admin/update body
+	// (default 64 MiB). Individual NDJSON lines are still bounded by
+	// MaxLineBytes.
+	MaxUpdateBytes int64
 }
 
 // buildServing derives one serving generation from a model: the
@@ -242,6 +253,9 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 	if opts.MaxLineBytes <= 0 {
 		opts.MaxLineBytes = 256 << 10
 	}
+	if opts.MaxUpdateBytes <= 0 {
+		opts.MaxUpdateBytes = 64 << 20
+	}
 	if opts.BatchWorkers < 0 {
 		return nil, fmt.Errorf("server: negative batch workers %d", opts.BatchWorkers)
 	}
@@ -272,12 +286,14 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 		snapshotPath:   opts.SnapshotPath,
 		maxBodyBytes:   opts.MaxBodyBytes,
 		maxLineBytes:   opts.MaxLineBytes,
+		maxUpdateBytes: opts.MaxUpdateBytes,
 		batchWorkers:   opts.BatchWorkers,
 		nilPrior:       opts.NILPrior,
 		logger:         opts.Logger,
 		metrics:        reg,
 		lifecycle:      newLifecycleMetrics(reg),
 		snap:           newSnapshotMetrics(reg),
+		delta:          newDeltaMetrics(reg),
 		requestTimeout: opts.RequestTimeout,
 	}
 	s.serving.Store(sv)
@@ -317,6 +333,7 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 	// Admin endpoints are ops-plane like healthz: not guarded, so a
 	// reload cannot be shed by the very overload it might relieve.
 	s.route(http.MethodPost, "/v1/admin/reload", s.handleReload)
+	s.route(http.MethodPost, "/v1/admin/update", s.handleUpdate)
 	if !opts.NoMetricsEndpoint {
 		s.route(http.MethodGet, "/metrics", reg.Handler().ServeHTTP)
 	}

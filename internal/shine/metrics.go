@@ -49,6 +49,11 @@ const (
 	// MetricPageRankIterations is the power-iteration count of the
 	// most recent PageRank run.
 	MetricPageRankIterations = "shine_pagerank_iterations"
+	// MetricPageRankWarmIterations is the sweep count of the most
+	// recent warm-started PageRank refresh (Model.WithDelta); 0 for a
+	// cold-built model. Compare against shine_pagerank_iterations to
+	// see what the warm start saved.
+	MetricPageRankWarmIterations = "shine_pagerank_warm_iterations"
 	// MetricGraphBuildSeconds is the wall-clock of loading and
 	// building the immutable CSR graph, recorded by `shine serve` at
 	// startup.
@@ -111,6 +116,7 @@ type modelMetrics struct {
 	emLogLik       *obs.Gauge
 	prSeconds      *obs.Gauge
 	prIterations   *obs.Gauge
+	prWarmIters    *obs.Gauge
 	candLookups    *obs.Counter
 	candFuzzy      *obs.Counter
 	candSeconds    *obs.Histogram
@@ -149,6 +155,7 @@ func (m *Model) SetMetrics(reg *obs.Registry) {
 		emLogLik:       reg.Gauge(MetricEMLogLikelihood),
 		prSeconds:      reg.Gauge(MetricPageRankSeconds),
 		prIterations:   reg.Gauge(MetricPageRankIterations),
+		prWarmIters:    reg.Gauge(MetricPageRankWarmIterations),
 		candLookups:    reg.Counter(MetricCandidatesLookups),
 		candFuzzy:      reg.Counter(MetricCandidatesFuzzy),
 		candSeconds:    reg.Histogram(MetricCandidatesSeconds, nil),
@@ -156,10 +163,11 @@ func (m *Model) SetMetrics(reg *obs.Registry) {
 		streamInFlight: reg.Gauge(MetricStreamInFlight),
 		streamSeconds:  reg.Histogram(MetricStreamSeconds, nil),
 	}
-	// The offline PageRank ran during construction, before any
-	// registry was attached; publish the recorded run so the gauges
-	// are correct from the first scrape. Rebind refreshes them.
-	m.metrics.observePageRank(m.prSeconds, m.prIterations)
+	// The offline PageRank ran during construction (or during the
+	// WithDelta that produced this generation), before any registry
+	// was attached; publish the recorded run so the gauges are correct
+	// from the first scrape. Rebind refreshes them.
+	m.metrics.observePageRank(m.prSeconds, m.prIterations, m.prWarmIterations)
 }
 
 // UnregisterCollectors detaches the model's walker-cache and
@@ -177,14 +185,15 @@ func (m *Model) UnregisterCollectors(reg *obs.Registry) {
 	reg.Unregister(&m.mixtures)
 }
 
-// observePageRank publishes the most recent offline PageRank run.
-// Safe on a nil receiver.
-func (mm *modelMetrics) observePageRank(seconds float64, iterations int) {
+// observePageRank publishes the most recent offline PageRank run and
+// the warm-refresh sweep count. Safe on a nil receiver.
+func (mm *modelMetrics) observePageRank(seconds float64, iterations, warmIterations int) {
 	if mm == nil {
 		return
 	}
 	mm.prSeconds.Set(seconds)
 	mm.prIterations.Set(float64(iterations))
+	mm.prWarmIters.Set(float64(warmIterations))
 }
 
 // observeLink records the outcome of one link call. Safe on a nil

@@ -52,11 +52,19 @@ type Model struct {
 	mixtures mixtureIndex
 
 	popularity map[hin.ObjectID]float64
+	// prScores is the raw whole-network PageRank vector behind
+	// popularity (nil under PopularityUniform). WithDelta warm-starts
+	// pagerank.Refine from it, so an incremental update re-converges
+	// in a handful of sweeps instead of a cold power iteration.
+	prScores []float64
 	// prSeconds/prIterations record the most recent offline PageRank
 	// run (zero under PopularityUniform); published as gauges by
-	// SetMetrics and refreshed by Rebind.
-	prSeconds    float64
-	prIterations int
+	// SetMetrics and refreshed by Rebind. prWarmIterations is the
+	// sweep count of the most recent warm-started refresh (zero for
+	// cold-built models).
+	prSeconds        float64
+	prIterations     int
+	prWarmIterations int
 	// cands generates candidate entities; by default the surface-form
 	// trie in trie, but replaceable via SetCandidateSource. trie keeps
 	// the concrete pointer for snapshotting and is nil when a custom
@@ -93,7 +101,7 @@ func New(g *hin.Graph, entityType hin.TypeID, paths []metapath.Path, docs *corpu
 		}
 	}
 
-	pop, prSeconds, prIters, err := computePopularity(g, entityType, cfg)
+	pop, prScores, prSeconds, prIters, err := computePopularity(g, entityType, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +122,7 @@ func New(g *hin.Graph, entityType hin.TypeID, paths []metapath.Path, docs *corpu
 		weights:      make([]float64, len(paths)),
 		cfg:          cfg,
 		popularity:   pop,
+		prScores:     prScores,
 		prSeconds:    prSeconds,
 		prIterations: prIters,
 		cands:        trie,
@@ -132,13 +141,14 @@ func New(g *hin.Graph, entityType hin.TypeID, paths []metapath.Path, docs *corpu
 // the entity set (Formulas 6–7). The PageRank kernel inherits
 // cfg.Workers when cfg.PageRank.Workers is unset, so `-workers`
 // bounds the whole offline pipeline, not just EM; any worker count
-// produces bit-identical scores. Returns the popularity map plus the
-// PageRank wall-clock seconds and iteration count (both zero in
-// uniform mode) for the shine_pagerank_* gauges.
-func computePopularity(g *hin.Graph, entityType hin.TypeID, cfg Config) (map[hin.ObjectID]float64, float64, int, error) {
+// produces bit-identical scores. Returns the popularity map, the raw
+// score vector (nil in uniform mode; WithDelta warm-starts from it),
+// plus the PageRank wall-clock seconds and iteration count (both zero
+// in uniform mode) for the shine_pagerank_* gauges.
+func computePopularity(g *hin.Graph, entityType hin.TypeID, cfg Config) (map[hin.ObjectID]float64, []float64, float64, int, error) {
 	if cfg.Popularity == PopularityUniform {
 		p, err := pagerank.UniformPopularity(g, entityType)
-		return p, 0, 0, err
+		return p, nil, 0, 0, err
 	}
 	prOpts := cfg.PageRank
 	if prOpts.Workers == 0 {
@@ -147,14 +157,14 @@ func computePopularity(g *hin.Graph, entityType hin.TypeID, cfg Config) (map[hin
 	start := time.Now()
 	res, err := pagerank.Compute(g, prOpts)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("shine: computing popularity: %w", err)
+		return nil, nil, 0, 0, fmt.Errorf("shine: computing popularity: %w", err)
 	}
 	seconds := time.Since(start).Seconds()
 	p, err := pagerank.EntityPopularity(g, res.Scores, entityType)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, nil, 0, 0, err
 	}
-	return p, seconds, res.Iterations, nil
+	return p, res.Scores, seconds, res.Iterations, nil
 }
 
 // Graph returns the model's network.
@@ -234,7 +244,7 @@ func (m *Model) Rebind(g *hin.Graph) error {
 				p, st, m.entityType)
 		}
 	}
-	pop, prSeconds, prIters, err := computePopularity(g, m.entityType, m.cfg)
+	pop, prScores, prSeconds, prIters, err := computePopularity(g, m.entityType, m.cfg)
 	if err != nil {
 		return err
 	}
@@ -244,8 +254,10 @@ func (m *Model) Rebind(g *hin.Graph) error {
 	}
 	m.graph = g
 	m.popularity = pop
+	m.prScores = prScores
 	m.prSeconds, m.prIterations = prSeconds, prIters
-	m.metrics.observePageRank(prSeconds, prIters)
+	m.prWarmIterations = 0 // a rebind is a cold recompute
+	m.metrics.observePageRank(prSeconds, prIters, 0)
 	m.cands = trie
 	m.trie = trie
 	m.walker = metapath.NewWalker(g, m.cfg.WalkCacheSize)

@@ -7,12 +7,12 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 go test -race ./...
-# Smoke the serving-path, offline-pipeline, snapshot, candidate-index
-# and streaming benchmarks (one iteration each) so they cannot rot
-# between perf PRs; real numbers live in BENCH_link.json,
-# BENCH_offline.json, BENCH_snapshot.json, BENCH_candidates.json and
-# BENCH_stream.json.
-go test -run=NONE -bench='Link|PageRank|Build|Snapshot|Candidates|Stream' -benchtime=1x .
+# Smoke the serving-path, offline-pipeline, snapshot, candidate-index,
+# streaming and incremental-update benchmarks (one iteration each) so
+# they cannot rot between perf PRs; real numbers live in
+# BENCH_link.json, BENCH_offline.json, BENCH_snapshot.json,
+# BENCH_candidates.json, BENCH_stream.json and BENCH_incremental.json.
+go test -run=NONE -bench='Link|PageRank|Build|Snapshot|Candidates|Stream|Delta|WarmStart' -benchtime=1x .
 # Route/metrics contract guard: every /v1 route answers wrong methods
 # with 405 + Allow, and the request-lifecycle series are present in
 # the /metrics exposition from the first scrape.
@@ -21,11 +21,14 @@ go test -race -run 'TestMethodEnforcement|TestMetricsLifecycleSeries' ./internal
 # or over-allocate on hostile headers; the name parser must keep its
 # invariants on arbitrary bytes; every trie lookup mode must stay
 # equivalent to (or a superset of) the brute-force oracle; the NDJSON
-# batch-line parser must never panic or accept an empty mention.
+# batch-line parser must never panic or accept an empty mention; the
+# delta-op parser must only ever stage patches that merge into a graph
+# passing Validate with a live degree cache.
 go test -fuzz=FuzzReadBytes -fuzztime=5s -run=FuzzReadBytes ./internal/snapshot/
 go test -fuzz=FuzzParse -fuzztime=5s -run=FuzzParse ./internal/namematch/
 go test -fuzz=FuzzTrieLookup -fuzztime=5s -run=FuzzTrieLookup ./internal/surftrie/
 go test -fuzz=FuzzNDJSONLine -fuzztime=5s -run=FuzzNDJSONLine ./internal/server/
+go test -fuzz=FuzzDeltaPatch -fuzztime=5s -run=FuzzDeltaPatch ./internal/server/
 # Snapshot CLI round trip: build an artifact from a generated dataset,
 # inspect it, and link from it — the binary boot path end to end.
 SNAPTMP=$(mktemp -d)
@@ -51,4 +54,18 @@ kill -0 "$SERVEPID" || { cat "$SNAPTMP/serve.log"; exit 1; }
 "$SNAPTMP/shine" loadgen -addr "http://127.0.0.1:$SERVEPORT" -docs 200 -concurrency 4 \
   -warmup 10 -seed 7 -authors 40 -numdocs 20 -wait-ready 30s -max-failures 0 \
   -json "$SNAPTMP/loadgen.json"
+# Incremental-update smoke: push a self-contained NDJSON delta (new
+# author + paper + venue with edges among them) through the update CLI
+# and POST /v1/admin/update — a non-200 fails the gate — then replay
+# the load against the swapped-in generation to prove it still serves.
+cat >"$SNAPTMP/delta.ndjson" <<'NDJSON'
+{"op":"object","type":"author","name":"Delta Smoke Author"}
+{"op":"object","type":"venue","name":"Delta Smoke Venue"}
+{"op":"object","type":"paper","name":"delta smoke paper"}
+{"op":"edge","rel":"write","src":{"type":"author","name":"Delta Smoke Author"},"dst":{"type":"paper","name":"delta smoke paper"}}
+{"op":"edge","rel":"publish","src":{"type":"venue","name":"Delta Smoke Venue"},"dst":{"type":"paper","name":"delta smoke paper"}}
+NDJSON
+"$SNAPTMP/shine" update -addr "http://127.0.0.1:$SERVEPORT" -in "$SNAPTMP/delta.ndjson"
+"$SNAPTMP/shine" loadgen -addr "http://127.0.0.1:$SERVEPORT" -docs 50 -concurrency 4 \
+  -seed 7 -authors 40 -numdocs 20 -wait-ready 10s -max-failures 0
 kill "$SERVEPID"
