@@ -345,6 +345,32 @@ func BenchmarkPageRank(b *testing.B) {
 	}
 }
 
+// BenchmarkCentrality measures each popularity backend's
+// whole-network Compute over the benchmark graph — the per-backend
+// offline cost column of the centrality comparison.
+func BenchmarkCentrality(b *testing.B) {
+	e := benchEnv(b)
+	g := e.DS.Data.Graph
+	for _, name := range pagerank.CentralityNames() {
+		b.Run(name, func(b *testing.B) {
+			cen, err := pagerank.NewCentrality(name, e.DS.Data.Schema.Author)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var iters int
+			for i := 0; i < b.N; i++ {
+				res, err := cen.Compute(g, pagerank.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "sweeps")
+			b.ReportMetric(float64(g.NumLinks()), "edges")
+		})
+	}
+}
+
 // pageRankWithWorkers times one pull-kernel run at the given fan-out
 // and reports edges processed per second per iteration.
 func pageRankWithWorkers(b *testing.B, g *hin.Graph, workers int) time.Duration {

@@ -10,7 +10,7 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -389,7 +389,7 @@ func driveBatchStream(client *http.Client, base string, pool []synth.RawDoc, str
 
 // summarize folds raw latencies into the per-mode report row.
 func summarize(mode string, docs, failures int, wall time.Duration, latencies []time.Duration) *modeResult {
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	slices.Sort(latencies)
 	pct := func(p float64) float64 {
 		if len(latencies) == 0 {
 			return 0

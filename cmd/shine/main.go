@@ -112,17 +112,19 @@ Commands:
   paths  [-maxlen N] [-enumerate]
          Show the paper's meta-path set (Table 3), or enumerate all
          author-rooted meta-paths up to -maxlen by schema BFS.
-  link   -graph FILE -docs FILE [-model FILE] [-snapshot FILE] [-theta F] [-uniform-pop] [-no-learn] [-top N] [-workers N] [-fuzzy N]
+  link   -graph FILE -docs FILE [-model FILE] [-snapshot FILE] [-theta F] [-uniform-pop] [-popularity NAME] [-no-learn] [-top N] [-workers N] [-fuzzy N]
          Ingest the documents, learn meta-path weights by EM (or load a
          trained model), link every mention and report accuracy.
          -snapshot skips -graph/-model and restores the whole model
-         from a binary artifact. -fuzzy N retries mentions with no
-         exact candidates at edit distance ≤ N (max 2) against the
-         surface-form trie — for noisy OCR-style input.
-  train  -graph FILE -docs FILE -model FILE [-snapshot FILE] [-theta F] [-uniform-pop] [-workers N]
+         from a binary artifact. -popularity selects the centrality
+         backend behind P(e): pagerank (default), degree, hits or
+         ppr (type-personalized PageRank). -fuzzy N retries mentions
+         with no exact candidates at edit distance ≤ N (max 2)
+         against the surface-form trie — for noisy OCR-style input.
+  train  -graph FILE -docs FILE -model FILE [-snapshot FILE] [-theta F] [-uniform-pop] [-popularity NAME] [-workers N]
          Learn meta-path weights by EM and save the trained model.
          -snapshot additionally writes the binary artifact servers
-         boot and hot-swap from. -workers bounds offline (PageRank)
+         boot and hot-swap from. -workers bounds offline (centrality)
          and training parallelism (0 = GOMAXPROCS); any worker count
          computes bit-identical scores and learns bit-identical
          weights.
@@ -130,9 +132,9 @@ Commands:
          Detect every entity mention in raw text (stdin or -in) and
          link each one, printing spans, entities and confidences.
   serve  -graph FILE -docs FILE [-model FILE] [-snapshot FILE]
-         [-addr :8080] [-nil-prior F] [-metrics=true] [-pprof]
-         [-drain 10s] [-workers N] [-timeout D] [-max-inflight N]
-         [-max-queue N] [-fuzzy N]
+         [-addr :8080] [-nil-prior F] [-popularity NAME]
+         [-metrics=true] [-pprof] [-drain 10s] [-workers N]
+         [-timeout D] [-max-inflight N] [-max-queue N] [-fuzzy N]
          Serve the model over HTTP: /v1/link, /v1/annotate,
          /v1/explain, /v1/entity, /v1/healthz, /v1/readyz, plus
          Prometheus metrics at /metrics and optional /debug/pprof
@@ -145,17 +147,20 @@ Commands:
          artifact and atomically swaps the serving model. -fuzzy N
          enables edit-distance candidate fallback on the serving
          endpoints and /v1/candidates?fuzzy=1 (survives hot swaps).
-  snapshot build   -graph FILE -docs FILE [-model FILE] [-precompute] -out FILE
+  snapshot build   -graph FILE -docs FILE [-model FILE] [-popularity NAME] [-precompute] -out FILE
          Package a model (trained via -model, or learned on the
          spot) into a versioned, checksummed binary artifact that
-         loads in milliseconds.
+         loads in milliseconds. The artifact records which
+         -popularity backend produced its popularity section, and
+         loading refuses to mix backends.
   snapshot inspect FILE [-json]
          Validate an artifact end to end and print its version,
          checksum, size and contents summary.
   bench  -exp NAME [-quick] [-csv DIR]
          Regenerate a paper experiment. Names: table2, table3, table4,
          table5, fig3, fig4, fig5, fig6, lambda, pruning, sgd,
-         calibration, ambiguity, nil, noise, significance, uwalk, imdb, all.
+         calibration, ambiguity, nil, noise, significance, uwalk,
+         imdb, centrality, all.
   loadgen -addr URL [-mode single|batch|both] [-docs N] [-concurrency N]
          [-rate F] [-warmup N] [-seed N] [-authors N] [-groups N]
          [-numdocs N] [-wait-ready D] [-max-failures N] [-json FILE]
@@ -440,6 +445,7 @@ func cmdLink(args []string) error {
 	snapPath := fs.String("snapshot", "", "binary artifact (from `shine snapshot build`); skips -graph and -model")
 	theta := fs.Float64("theta", 0.2, "smoothing parameter θ")
 	uniformPop := fs.Bool("uniform-pop", false, "use the uniform popularity model")
+	popularity := fs.String("popularity", "", "centrality backend for P(e): pagerank, degree, hits or ppr (default pagerank; with -snapshot, asserts the artifact's backend)")
 	noLearn := fs.Bool("no-learn", false, "skip EM learning; use uniform meta-path weights")
 	top := fs.Int("top", 0, "print the top-N candidate posteriors per mention")
 	workers := fs.Int("workers", 0, "offline-pipeline and training worker goroutines (0 = GOMAXPROCS)")
@@ -452,6 +458,9 @@ func cmdLink(args []string) error {
 		// from disk.
 		snap, err := snapshot.ReadFile(*snapPath)
 		if err != nil {
+			return err
+		}
+		if err := checkSnapshotCentrality(snap.Info(), *popularity); err != nil {
 			return err
 		}
 		m, err := snap.Model()
@@ -503,6 +512,9 @@ func cmdLink(args []string) error {
 		cfg.Theta = *theta
 		if *uniformPop {
 			cfg.Popularity = shine.PopularityUniform
+		}
+		if *popularity != "" {
+			cfg.Centrality = *popularity
 		}
 		if *workers > 0 {
 			cfg.Workers = *workers
@@ -582,6 +594,7 @@ func cmdTrain(args []string) error {
 	snapPath := fs.String("snapshot", "", "also write the binary artifact servers boot and hot-swap from")
 	theta := fs.Float64("theta", 0.2, "smoothing parameter θ")
 	uniformPop := fs.Bool("uniform-pop", false, "use the uniform popularity model")
+	popularity := fs.String("popularity", "", "centrality backend for P(e): pagerank, degree, hits or ppr (default pagerank)")
 	workers := fs.Int("workers", 0, "offline-pipeline and training worker goroutines (0 = GOMAXPROCS)")
 	precompute := fs.Bool("precompute", false, "eagerly rebuild the frozen entity-mixture index after each weight install")
 	fs.Parse(args)
@@ -602,6 +615,9 @@ func cmdTrain(args []string) error {
 	cfg.Theta = *theta
 	if *uniformPop {
 		cfg.Popularity = shine.PopularityUniform
+	}
+	if *popularity != "" {
+		cfg.Centrality = *popularity
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
@@ -720,6 +736,7 @@ func cmdServe(args []string) error {
 	snapPath := fs.String("snapshot", "", "binary artifact to boot from and hot-swap on SIGHUP or POST /v1/admin/reload")
 	addr := fs.String("addr", ":8080", "listen address")
 	nilPrior := fs.Float64("nil-prior", 0, "enable NIL detection on /v1/link with this prior")
+	popularity := fs.String("popularity", "", "centrality backend for P(e) when learning on startup: pagerank, degree, hits or ppr (default pagerank; with -snapshot, asserts the artifact's backend)")
 	metricsOn := fs.Bool("metrics", true, "expose Prometheus metrics at GET /metrics")
 	pprofOn := fs.Bool("pprof", false, "mount profiling handlers under /debug/pprof/")
 	drain := fs.Duration("drain", 10*time.Second, "connection drain deadline on SIGINT/SIGTERM")
@@ -743,6 +760,9 @@ func cmdServe(args []string) error {
 		loadStart := time.Now()
 		snap, err := snapshot.ReadFile(*snapPath)
 		if err != nil {
+			return err
+		}
+		if err := checkSnapshotCentrality(snap.Info(), *popularity); err != nil {
 			return err
 		}
 		if m, err = snap.Model(); err != nil {
@@ -780,6 +800,9 @@ func cmdServe(args []string) error {
 			}
 		} else {
 			cfg := shine.DefaultConfig()
+			if *popularity != "" {
+				cfg.Centrality = *popularity
+			}
 			if *workers > 0 {
 				cfg.Workers = *workers
 			}
@@ -865,6 +888,20 @@ func cmdServe(args []string) error {
 
 // -------------------------------------------------------------- snapshot
 
+// checkSnapshotCentrality asserts that a booted artifact's recorded
+// popularity backend matches an explicit -popularity flag. The
+// snapshot's config already enforces consistency internally (FromParts
+// refuses mixed backends); this check catches the operator error of
+// pointing a -popularity override at an artifact built differently,
+// where the flag would otherwise be silently ignored.
+func checkSnapshotCentrality(info snapshot.Info, popularity string) error {
+	if popularity != "" && popularity != info.Centrality {
+		return fmt.Errorf("snapshot was built with centrality backend %q, but -popularity requests %q; rebuild the artifact with `shine snapshot build -popularity %s`",
+			info.Centrality, popularity, popularity)
+	}
+	return nil
+}
+
 func cmdSnapshot(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: shine snapshot build|inspect [flags]")
@@ -885,6 +922,7 @@ func cmdSnapshotBuild(args []string) error {
 	docsPath := fs.String("docs", "docs.json", "documents file (JSON lines of RawDoc)")
 	modelPath := fs.String("model", "", "trained model file (from `shine train`); omit to learn here")
 	outPath := fs.String("out", "model.snap", "output path for the artifact")
+	popularity := fs.String("popularity", "", "centrality backend for P(e) when learning here: pagerank, degree, hits or ppr (default pagerank)")
 	workers := fs.Int("workers", 0, "offline-pipeline and training worker goroutines (0 = GOMAXPROCS)")
 	precompute := fs.Bool("precompute", true, "bake the frozen entity-mixture index into the artifact so replicas boot warm")
 	fs.Parse(args)
@@ -914,6 +952,9 @@ func cmdSnapshotBuild(args []string) error {
 		}
 	} else {
 		cfg := shine.DefaultConfig()
+		if *popularity != "" {
+			cfg.Centrality = *popularity
+		}
 		if *workers > 0 {
 			cfg.Workers = *workers
 		}
@@ -964,7 +1005,7 @@ func cmdSnapshotInspect(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table2..5, fig3..6, lambda, pruning, sgd, calibration, ambiguity, nil, noise, significance, uwalk, imdb, all")
+	exp := fs.String("exp", "all", "experiment: table2..5, fig3..6, lambda, pruning, sgd, calibration, ambiguity, nil, noise, significance, uwalk, imdb, centrality, all")
 	quick := fs.Bool("quick", false, "use the reduced quick dataset")
 	csvDir := fs.String("csv", "", "also write each experiment's data as CSV into this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -1300,6 +1341,19 @@ func cmdBench(args []string) error {
 			fmt.Println("difference significant at the 0.05 level")
 		} else {
 			fmt.Println("difference NOT significant at the 0.05 level")
+		}
+		fmt.Println()
+	}
+	if want("centrality") {
+		ran = true
+		r, err := env.CentralityComparison()
+		if err != nil {
+			return err
+		}
+		r.WriteTo(os.Stdout)
+		h, rows := r.CSV()
+		if err := writeCSV("centrality", h, rows); err != nil {
+			return err
 		}
 		fmt.Println()
 	}

@@ -55,7 +55,7 @@ func main() {
 	g := ds.Data.Graph
 
 	// 2. Baselines.
-	pop, err := baselines.NewPOP(g, d.Author, pagerank.DefaultOptions())
+	pop, err := baselines.NewPOP(g, d.Author, nil, pagerank.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

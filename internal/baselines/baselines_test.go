@@ -6,7 +6,9 @@ import (
 
 	"shine/internal/corpus"
 	"shine/internal/hin"
+	"shine/internal/metapath"
 	"shine/internal/pagerank"
+	"shine/internal/shine"
 )
 
 // twoWangs mirrors the shine package fixture: two authors sharing a
@@ -46,7 +48,7 @@ func twoWangs(t testing.TB) (*hin.DBLPSchema, *hin.Graph, map[string]hin.ObjectI
 
 func TestPOPLinksToMostPopular(t *testing.T) {
 	d, g, ids := twoWangs(t)
-	pop, err := NewPOP(g, d.Author, pagerank.DefaultOptions())
+	pop, err := NewPOP(g, d.Author, nil, pagerank.DefaultOptions())
 	if err != nil {
 		t.Fatalf("NewPOP: %v", err)
 	}
@@ -195,5 +197,57 @@ func TestUWalkMixtureIsSubProbability(t *testing.T) {
 	}
 	if sum > 1+1e-9 {
 		t.Errorf("mixture mass %v exceeds 1", sum)
+	}
+}
+
+// TestPOPSharesModelCandidates pins the property the McNemar pairing
+// in eval.CompareLinkers depends on: a POP built over the model's own
+// CandidateSource resolves exactly the candidate set the model does,
+// for every mention — including fuzzy/custom sources the default trie
+// would not replicate.
+func TestPOPSharesModelCandidates(t *testing.T) {
+	d, g, ids := twoWangs(t)
+	c := &corpus.Corpus{}
+	c.Add(corpus.NewDocument("a", "Wei Wang", ids["w1"],
+		[]hin.ObjectID{ids["muntz"], ids["sigmod"], ids["data"], ids["1999"]}))
+	c.Add(corpus.NewDocument("b", "Wei Wang", ids["w2"],
+		[]hin.ObjectID{ids["martin"], ids["nips"], ids["neural"], ids["2005"]}))
+	m, err := shine.New(g, d.Author, metapath.DBLPPaperPaths(d), c, shine.DefaultConfig())
+	if err != nil {
+		t.Fatalf("shine.New: %v", err)
+	}
+	pop, err := NewPOP(g, d.Author, m.CandidateSource(), pagerank.DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewPOP: %v", err)
+	}
+	for _, mention := range []string{"Wei Wang", "Richard R. Muntz", "Eric Martin", "Nobody Known"} {
+		want := m.CandidateSource().Candidates(mention)
+		got := pop.Candidates(mention)
+		if len(got) != len(want) {
+			t.Fatalf("mention %q: POP has %d candidates, model has %d", mention, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("mention %q candidate %d: POP %d, model %d", mention, i, got[i], want[i])
+			}
+		}
+	}
+
+	// The default (nil) source matches the model's stock trie too —
+	// same construction rules — so standalone POP is not a divergent
+	// resolver either.
+	popDefault, err := NewPOP(g, d.Author, nil, pagerank.DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewPOP(nil source): %v", err)
+	}
+	want := m.CandidateSource().Candidates("Wei Wang")
+	got := popDefault.Candidates("Wei Wang")
+	if len(got) != len(want) {
+		t.Fatalf("default source: %d candidates, model trie has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("default source candidate %d: %d, model %d", i, got[i], want[i])
+		}
 	}
 }

@@ -8,8 +8,9 @@ import (
 
 	"shine/internal/corpus"
 	"shine/internal/hin"
-	"shine/internal/namematch"
 	"shine/internal/pagerank"
+	"shine/internal/shine"
+	"shine/internal/surftrie"
 )
 
 // POP links every mention to its most popular candidate entity,
@@ -17,11 +18,18 @@ import (
 // 7). Context is ignored entirely.
 type POP struct {
 	popularity map[hin.ObjectID]float64
-	index      *namematch.Index
+	cands      shine.CandidateSource
 }
 
-// NewPOP computes entity popularity offline and indexes entity names.
-func NewPOP(g *hin.Graph, entityType hin.TypeID, opts pagerank.Options) (*POP, error) {
+// NewPOP computes entity popularity offline and resolves candidates
+// through cands. Pass a SHINE model's CandidateSource() when comparing
+// the two systems — eval.CompareLinkers feeds McNemar paired outcomes,
+// which are only meaningful when both linkers choose from the same
+// candidate set per mention. A nil cands builds the default
+// surface-form trie over the graph, the same index shine.New builds,
+// so even standalone POP resolves candidates by the model's rules
+// rather than through a divergent path.
+func NewPOP(g *hin.Graph, entityType hin.TypeID, cands shine.CandidateSource, opts pagerank.Options) (*POP, error) {
 	res, err := pagerank.Compute(g, opts)
 	if err != nil {
 		return nil, fmt.Errorf("baselines: computing popularity: %w", err)
@@ -30,17 +38,26 @@ func NewPOP(g *hin.Graph, entityType hin.TypeID, opts pagerank.Options) (*POP, e
 	if err != nil {
 		return nil, err
 	}
-	idx, err := namematch.BuildIndex(g, entityType)
-	if err != nil {
-		return nil, err
+	if cands == nil {
+		trie, err := surftrie.Build(g, entityType)
+		if err != nil {
+			return nil, err
+		}
+		cands = trie
 	}
-	return &POP{popularity: pop, index: idx}, nil
+	return &POP{popularity: pop, cands: cands}, nil
+}
+
+// Candidates exposes POP's candidate resolution so tests can pin it
+// against the model's.
+func (p *POP) Candidates(mention string) []hin.ObjectID {
+	return p.cands.Candidates(mention)
 }
 
 // Link returns the most popular candidate for the document's mention.
 // Ties break towards the lower entity ID, deterministically.
 func (p *POP) Link(doc *corpus.Document) (hin.ObjectID, error) {
-	cands := p.index.Candidates(doc.Mention)
+	cands := p.cands.Candidates(doc.Mention)
 	if len(cands) == 0 {
 		return hin.NoObject, fmt.Errorf("baselines: mention %q has no candidates", doc.Mention)
 	}

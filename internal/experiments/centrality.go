@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"shine/internal/baselines"
+	"shine/internal/corpus"
+	"shine/internal/eval"
+	"shine/internal/hin"
+	"shine/internal/pagerank"
+	"shine/internal/shine"
+)
+
+// CentralityRow is one popularity backend's head-to-head result: a
+// full SHINE model trained with P(e) behind that backend, evaluated on
+// the shared corpus, and tested against the pagerank-backed baseline
+// model with McNemar over paired outcomes.
+type CentralityRow struct {
+	Backend string
+	// Accuracy and Correct/Total come from eval.Evaluate on the whole
+	// corpus.
+	Accuracy float64
+	Correct  int
+	Total    int
+	// CentralitySeconds is the offline wall-clock of the backend's
+	// whole-network run during model construction; Iterations its
+	// sweep count (1 for degree).
+	CentralitySeconds float64
+	Iterations        int
+	// LinkMicros is the mean serving-path latency per linked mention
+	// during the evaluation pass, in microseconds.
+	LinkMicros float64
+	// McNemar compares this backend against the pagerank baseline
+	// (OnlyA = pagerank-only correct, OnlyB = this-backend-only
+	// correct). Zero-valued for the baseline row itself.
+	McNemar     eval.McNemarResult
+	Significant bool
+}
+
+// CentralityResult is the backend comparison: the paper's PageRank
+// popularity against degree, HITS and type-personalized PageRank, all
+// inside otherwise identical SHINE models, plus the context-free POP
+// baseline resolving candidates through the pagerank model's own
+// candidate source (so its McNemar pairing is candidate-set-identical
+// by construction).
+type CentralityResult struct {
+	// Alpha is the significance level the Significant flags use.
+	Alpha float64
+	// Rows holds one entry per backend, pagerank (the baseline) first.
+	Rows []CentralityRow
+	// POP is the popularity-only baseline over the same candidate
+	// source as the baseline model, McNemar-tested against it.
+	POP CentralityRow
+}
+
+// CentralityComparison trains one SHINE model per centrality backend
+// on the environment's dataset — EM included, since popularity enters
+// the E-step posteriors and each backend deserves its own learned
+// weights — and evaluates them head-to-head with McNemar significance
+// against the pagerank-backed model at α = 0.05.
+func (e *Env) CentralityComparison() (*CentralityResult, error) {
+	const alpha = 0.05
+	out := &CentralityResult{Alpha: alpha}
+
+	var baseline eval.Linker
+	var baseModel *shine.Model
+	for _, name := range pagerank.CentralityNames() {
+		m, err := e.newModel(e.Paths10, func(c *shine.Config) { c.Centrality = name })
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s model: %w", name, err)
+		}
+		if _, err := m.Learn(e.DS.Corpus); err != nil {
+			return nil, fmt.Errorf("experiments: learning %s model: %w", name, err)
+		}
+		sum, err := e.evalModel(m, e.DS.Corpus)
+		if err != nil {
+			return nil, err
+		}
+		parts := m.Parts()
+		row := CentralityRow{
+			Backend:           name,
+			Accuracy:          sum.Accuracy,
+			Correct:           sum.Correct,
+			Total:             sum.Total,
+			CentralitySeconds: parts.PRSeconds,
+			Iterations:        parts.PRIterations,
+		}
+		if sum.Total > 0 {
+			row.LinkMicros = sum.Elapsed.Seconds() * 1e6 / float64(sum.Total)
+		}
+		linker := modelLinker(m)
+		if name == pagerank.DefaultCentrality {
+			baseline, baseModel = linker, m
+		} else {
+			mc, err := eval.CompareLinkers(baseline, linker, e.DS.Corpus)
+			if err != nil {
+				return nil, err
+			}
+			row.McNemar = mc
+			row.Significant = mc.Significant(alpha)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+
+	// POP rides along on the baseline model's candidate source, making
+	// the paired outcomes candidate-set-identical — the property the
+	// McNemar pairing needs.
+	pop, err := baselines.NewPOP(e.DS.Data.Graph, e.DS.Data.Schema.Author,
+		baseModel.CandidateSource(), shine.DefaultConfig().PageRank)
+	if err != nil {
+		return nil, err
+	}
+	popSum, err := eval.Evaluate(pop, e.DS.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	out.POP = CentralityRow{
+		Backend:  "POP (no context)",
+		Accuracy: popSum.Accuracy,
+		Correct:  popSum.Correct,
+		Total:    popSum.Total,
+	}
+	if popSum.Total > 0 {
+		out.POP.LinkMicros = popSum.Elapsed.Seconds() * 1e6 / float64(popSum.Total)
+	}
+	mc, err := eval.CompareLinkers(baseline, pop, e.DS.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	out.POP.McNemar = mc
+	out.POP.Significant = mc.Significant(alpha)
+	return out, nil
+}
+
+// modelLinker adapts a SHINE model to the eval.Linker interface.
+func modelLinker(m *shine.Model) eval.Linker {
+	return eval.LinkerFunc(func(doc *corpus.Document) (hin.ObjectID, error) {
+		r, err := m.Link(doc)
+		if err != nil {
+			return hin.NoObject, err
+		}
+		return r.Entity, nil
+	})
+}
+
+// WriteTo renders the comparison table.
+func (r *CentralityResult) WriteTo(w io.Writer) (int64, error) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Extra: centrality backends for P(e), head-to-head (McNemar vs pagerank)")
+	fmt.Fprintln(tw, "backend\taccuracy\tcorrect\toffline(s)\titers\tlink(µs)\tonly-pr\tonly-it\tp\tsignif")
+	rows := append(append([]CentralityRow(nil), r.Rows...), r.POP)
+	for _, row := range rows {
+		p, sig := "-", "-"
+		if row.Backend != pagerank.DefaultCentrality {
+			p = fmt.Sprintf("%.3g", row.McNemar.PValue)
+			if row.Significant {
+				sig = fmt.Sprintf("yes (α=%.2f)", r.Alpha)
+			} else {
+				sig = "no"
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%d/%d\t%.3f\t%d\t%.1f\t%d\t%d\t%s\t%s\n",
+			row.Backend, row.Accuracy, row.Correct, row.Total,
+			row.CentralitySeconds, row.Iterations, row.LinkMicros,
+			row.McNemar.OnlyA, row.McNemar.OnlyB, p, sig)
+	}
+	if err := tw.Flush(); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// CSV exports the comparison for -csv.
+func (r *CentralityResult) CSV() ([]string, [][]string) {
+	header := []string{"backend", "accuracy", "correct", "total",
+		"centrality_seconds", "iterations", "link_micros",
+		"only_pagerank", "only_backend", "p_value", "significant"}
+	var rows [][]string
+	for _, row := range append(append([]CentralityRow(nil), r.Rows...), r.POP) {
+		rows = append(rows, []string{
+			row.Backend,
+			fmt.Sprintf("%.4f", row.Accuracy),
+			fmt.Sprintf("%d", row.Correct),
+			fmt.Sprintf("%d", row.Total),
+			fmt.Sprintf("%.4f", row.CentralitySeconds),
+			fmt.Sprintf("%d", row.Iterations),
+			fmt.Sprintf("%.2f", row.LinkMicros),
+			fmt.Sprintf("%d", row.McNemar.OnlyA),
+			fmt.Sprintf("%d", row.McNemar.OnlyB),
+			fmt.Sprintf("%.4g", row.McNemar.PValue),
+			fmt.Sprintf("%v", row.Significant),
+		})
+	}
+	return header, rows
+}

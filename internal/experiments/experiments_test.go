@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"shine/internal/pagerank"
 	"shine/internal/synth"
 )
 
@@ -462,5 +463,54 @@ func TestWalkAblation(t *testing.T) {
 	// the intuitive unconstrained variant.
 	if r.SHINEall <= r.Unconstrained {
 		t.Errorf("SHINEall (%v) not above unconstrained walks (%v)", r.SHINEall, r.Unconstrained)
+	}
+}
+
+func TestCentralityComparisonShape(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.CentralityComparison()
+	if err != nil {
+		t.Fatalf("CentralityComparison: %v", err)
+	}
+	if len(r.Rows) != len(pagerank.CentralityNames()) {
+		t.Fatalf("comparison has %d rows, want one per backend (%d)",
+			len(r.Rows), len(pagerank.CentralityNames()))
+	}
+	if r.Rows[0].Backend != pagerank.DefaultCentrality {
+		t.Errorf("baseline row is %q, want %q", r.Rows[0].Backend, pagerank.DefaultCentrality)
+	}
+	for _, row := range r.Rows {
+		if row.Total == 0 {
+			t.Errorf("%s evaluated zero mentions", row.Backend)
+		}
+		if row.Accuracy < 0 || row.Accuracy > 1 {
+			t.Errorf("%s accuracy %v out of range", row.Backend, row.Accuracy)
+		}
+		if row.Backend != pagerank.DefaultCentrality {
+			if row.McNemar.PValue < 0 || row.McNemar.PValue > 1 {
+				t.Errorf("%s p-value %v out of range", row.Backend, row.McNemar.PValue)
+			}
+		}
+	}
+	// POP rides the baseline model's candidate source; on a corpus this
+	// size full context should not lose to no context.
+	if r.POP.Total == 0 {
+		t.Error("POP row evaluated zero mentions")
+	}
+	if r.POP.Accuracy > r.Rows[0].Accuracy {
+		t.Errorf("POP (%v) beat the full model (%v)", r.POP.Accuracy, r.Rows[0].Accuracy)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"backend", "pagerank", "degree", "hits", "ppr", "POP"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+	h, rows := r.CSV()
+	if len(h) == 0 || len(rows) != len(r.Rows)+1 {
+		t.Errorf("CSV export: %d header cols, %d rows (want %d)", len(h), len(rows), len(r.Rows)+1)
 	}
 }

@@ -340,7 +340,7 @@ func IMDBComparison(cfg synth.IMDBConfig) (*IMDBResult, error) {
 	}
 	res := &IMDBResult{Documents: data.Corpus.Len()}
 
-	pop, err := baselines.NewPOP(data.Graph, data.Schema.Actor, shine.DefaultConfig().PageRank)
+	pop, err := baselines.NewPOP(data.Graph, data.Schema.Actor, nil, shine.DefaultConfig().PageRank)
 	if err != nil {
 		return nil, err
 	}

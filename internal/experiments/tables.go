@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"text/tabwriter"
 
 	"shine/internal/eval"
@@ -59,7 +60,7 @@ func (e *Env) Table2() (*Table2Result, error) {
 			Popularity: pop[m],
 		})
 	}
-	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].Popularity > out.Rows[j].Popularity })
+	slices.SortFunc(out.Rows, func(a, b Table2Row) int { return cmp.Compare(b.Popularity, a.Popularity) })
 	return out, nil
 }
 
@@ -199,7 +200,7 @@ func (e *Env) Table5() (*Table5Result, error) {
 		out.Rows = append(out.Rows, Table5Row{Approach: name, Correct: s.Correct, Accuracy: s.Accuracy})
 	}
 
-	pop, err := baselines.NewPOP(e.DS.Data.Graph, d.Author, pagerank.DefaultOptions())
+	pop, err := baselines.NewPOP(e.DS.Data.Graph, d.Author, nil, pagerank.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}

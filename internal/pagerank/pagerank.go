@@ -74,12 +74,18 @@ func DefaultOptions() Options {
 	return Options{Lambda: 0.2, Tolerance: 1e-10, MaxIterations: 200}
 }
 
-func (o Options) validate() error {
-	if o.Lambda < 0 || o.Lambda > 1 {
+// Validate reports the first configuration problem, or nil. Compute
+// and every Centrality backend call it; shine.Config.Validate
+// delegates to it so a bad option set is caught at config time, not
+// first compute.
+func (o Options) Validate() error {
+	// NaN fails every range comparison, so test for it explicitly:
+	// NaN < 0 and NaN > 1 are both false.
+	if math.IsNaN(o.Lambda) || o.Lambda < 0 || o.Lambda > 1 {
 		return fmt.Errorf("pagerank: lambda %v outside [0, 1]", o.Lambda)
 	}
-	if o.Tolerance <= 0 {
-		return fmt.Errorf("pagerank: tolerance %v must be positive", o.Tolerance)
+	if math.IsNaN(o.Tolerance) || math.IsInf(o.Tolerance, 0) || o.Tolerance <= 0 {
+		return fmt.Errorf("pagerank: tolerance %v must be positive and finite", o.Tolerance)
 	}
 	if o.MaxIterations <= 0 {
 		return fmt.Errorf("pagerank: max iterations %d must be positive", o.MaxIterations)
@@ -223,7 +229,7 @@ func (k *kernel) iterate(pr, next, resid []float64) float64 {
 // instead of the uniform one and typically converges in far fewer
 // sweeps; Refine adds a push-based refinement on top for small deltas.
 func Compute(g *hin.Graph, opts Options) (*Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	n := g.NumObjects()
@@ -266,7 +272,7 @@ func Compute(g *hin.Graph, opts Options) (*Result, error) {
 // match it within tight floating-point tolerance on any graph; the
 // two differ only in per-vertex summation order.
 func ReferenceCompute(g *hin.Graph, opts Options) (*Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	n := g.NumObjects()

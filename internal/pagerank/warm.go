@@ -75,7 +75,7 @@ func warmInit(pr, warm []float64) error {
 // use the blocked fixed-order reductions and the push phase is serial
 // with a deterministic FIFO worklist.
 func Refine(g *hin.Graph, opts Options, prev []float64) (*Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	n := g.NumObjects()

@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	POST /v1/link        {"mention": "...", "text": "..."}      -> linking result
+//	POST /v1/link[?nil_prior=P]  {"mention": "...", "text": "..."} -> linking result
 //	POST /v1/link/batch  NDJSON stream of link requests         -> NDJSON result stream
 //	POST /v1/annotate    {"text": "..."}                        -> annotations
 //	POST /v1/explain     {"mention": "...", "text": "..."}      -> evidence breakdown
@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -259,7 +260,10 @@ func New(m *shine.Model, ingestCfg corpus.IngestConfig, opts Options) (*Server, 
 	if opts.BatchWorkers < 0 {
 		return nil, fmt.Errorf("server: negative batch workers %d", opts.BatchWorkers)
 	}
-	if opts.NILPrior < 0 || opts.NILPrior >= 1 {
+	// The explicit NaN test matters: NaN < 0 and NaN >= 1 are both
+	// false, so a NaN prior would pass the range check, count as "NIL
+	// mode on" and poison every posterior downstream.
+	if math.IsNaN(opts.NILPrior) || opts.NILPrior < 0 || opts.NILPrior >= 1 {
 		return nil, fmt.Errorf("server: NIL prior %v outside [0, 1)", opts.NILPrior)
 	}
 	if err := m.SetFuzzyDistance(opts.FuzzyDistance); err != nil {
@@ -449,14 +453,29 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "mention is required")
 		return
 	}
+	// A nil_prior query parameter overrides the server-wide NIL prior
+	// for this request: 0 disables NIL mode, (0, 1) enables it at that
+	// mass. Rejected unless it parses to a float in [0, 1) — NaN in
+	// particular parses successfully and must answer 400, not seep
+	// into the model (the model's own guard would also refuse it, but
+	// as a 500).
+	nilPrior := s.nilPrior
+	if qp := r.URL.Query().Get("nil_prior"); qp != "" {
+		v, err := strconv.ParseFloat(qp, 64)
+		if err != nil || math.IsNaN(v) || v < 0 || v >= 1 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("nil_prior %q outside [0, 1)", qp))
+			return
+		}
+		nilPrior = v
+	}
 	sv := s.serving.Load()
 	doc := sv.ingester.Ingest(s.nextRequestID(), req.Mention, hin.NoObject, req.Text)
 
 	ctx := r.Context()
 	var res shine.Result
 	var err error
-	if s.nilPrior > 0 {
-		res, err = sv.model.LinkNILContext(ctx, doc, s.nilPrior)
+	if nilPrior > 0 {
+		res, err = sv.model.LinkNILContext(ctx, doc, nilPrior)
 	} else {
 		res, err = sv.model.LinkContext(ctx, doc)
 	}

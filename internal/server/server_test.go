@@ -323,3 +323,50 @@ func TestRequestLogging(t *testing.T) {
 		t.Errorf("error log = %q", logBuf.String())
 	}
 }
+
+// TestLinkEndpointNILPriorQueryParam covers the per-request nil_prior
+// override: valid values switch the request into NIL mode, and
+// non-finite or out-of-range values — NaN in particular, which slips
+// through plain range comparisons — answer 400 instead of NaN-scored
+// JSON.
+func TestLinkEndpointNILPriorQueryParam(t *testing.T) {
+	s, _ := testServer(t, Options{}) // server default: NIL mode off
+
+	// A valid override turns NIL mode on for this request only.
+	w := postJSON(t, s, "/v1/link?nil_prior=0.3", `{"mention": "Wei Wang", "text": ""}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("nil_prior=0.3: status %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Candidates []struct {
+			Entity *int32 `json:"entity"`
+		} `json:"candidates"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	hasNIL := false
+	for _, c := range resp.Candidates {
+		if c.Entity == nil {
+			hasNIL = true
+		}
+	}
+	if !hasNIL {
+		t.Error("nil_prior=0.3: NIL pseudo-candidate missing")
+	}
+
+	// The server default is untouched by the per-request override.
+	w = postJSON(t, s, "/v1/link", `{"mention": "Wei Wang", "text": ""}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("follow-up without nil_prior: status %d", w.Code)
+	}
+
+	// Regression: NaN, Inf and out-of-range priors are rejected with
+	// 400 before reaching the model.
+	for _, bad := range []string{"NaN", "nan", "+Inf", "-Inf", "1", "1.5", "-0.1", "bogus"} {
+		w := postJSON(t, s, "/v1/link?nil_prior="+bad, `{"mention": "Wei Wang", "text": ""}`)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("nil_prior=%s: status %d, want 400 (body %q)", bad, w.Code, w.Body.String())
+		}
+	}
+}

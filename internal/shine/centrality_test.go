@@ -1,0 +1,159 @@
+package shine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"shine/internal/pagerank"
+)
+
+// TestValidateRejectsNaN sweeps every float field of Config for the
+// NaN hole: NaN fails both halves of a range comparison, so each
+// field's validation needs an explicit IsNaN (and, for open-ended
+// fields, IsInf) term. One table row per field.
+func TestValidateRejectsNaN(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		field  string // substring the error must carry
+		mutate func(*Config)
+	}{
+		{"theta", func(c *Config) { c.Theta = nan }},
+		{"eta", func(c *Config) { c.Eta = nan }},
+		{"LearningRate", func(c *Config) { c.LearningRate = nan }},
+		{"LearningRate", func(c *Config) { c.LearningRate = inf }},
+		{"EMTolerance", func(c *Config) { c.EMTolerance = nan }},
+		{"EMTolerance", func(c *Config) { c.EMTolerance = inf }},
+		{"GDTolerance", func(c *Config) { c.GDTolerance = nan }},
+		{"GDTolerance", func(c *Config) { c.GDTolerance = inf }},
+		{"ProbFloor", func(c *Config) { c.ProbFloor = nan }},
+		// The nested pagerank options go through the same sweep.
+		{"lambda", func(c *Config) { c.PageRank.Lambda = nan }},
+		{"tolerance", func(c *Config) { c.PageRank.Tolerance = nan }},
+		{"tolerance", func(c *Config) { c.PageRank.Tolerance = inf }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a NaN/Inf value", tc.field)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(tc.field)) {
+			t.Errorf("%s: error %q does not name the field", tc.field, err)
+		}
+	}
+}
+
+func TestValidateRejectsUnknownCentrality(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Centrality = "closeness"
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("unknown centrality backend accepted")
+	}
+	if !strings.Contains(err.Error(), "closeness") {
+		t.Errorf("error %q does not name the offending backend", err)
+	}
+	// Empty means "default": valid, resolves to pagerank.
+	cfg.Centrality = ""
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("empty Centrality rejected: %v", err)
+	}
+	if cfg.CentralityName() != pagerank.DefaultCentrality {
+		t.Errorf("CentralityName() = %q for empty field", cfg.CentralityName())
+	}
+}
+
+// TestLinkNILRejectsNonFinitePrior is the regression test for the NaN
+// hole in linkNIL's guard: `nilPrior <= 0 || nilPrior >= 1` is false
+// for NaN, which used to let a NaN prior through to the posterior
+// arithmetic and return NaN-scored candidates.
+func TestLinkNILRejectsNonFinitePrior(t *testing.T) {
+	f, nilDoc := nilFixture(t)
+	m := newNILModel(t, f)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		r, err := m.LinkNIL(nilDoc, bad)
+		if err == nil {
+			t.Errorf("prior %v accepted; result %+v", bad, r)
+		}
+	}
+}
+
+// TestModelTrainsAndLinksUnderEveryBackend runs the full pipeline —
+// construction (popularity via the backend), EM learning, serving —
+// once per centrality backend. The two-Wangs fixture's communities are
+// disconnected, which exposes HITS's known tyranny-of-the-dominant-
+// component behaviour: the principal eigenvector puts essentially all
+// authority on the larger SIGMOD community, so the NIPS Wei Wang's
+// prior collapses and doc b is expected to mislink under hits. Every
+// other backend must link both documents to gold.
+func TestModelTrainsAndLinksUnderEveryBackend(t *testing.T) {
+	f := newFixture(t)
+	for _, name := range pagerank.CentralityNames() {
+		t.Run(name, func(t *testing.T) {
+			m := newModel(t, f, func(c *Config) { c.Centrality = name })
+			if _, err := m.Learn(f.corpus); err != nil {
+				t.Fatalf("Learn: %v", err)
+			}
+			for _, doc := range f.corpus.Docs {
+				r, err := m.Link(doc)
+				if err != nil {
+					t.Fatalf("Link(%s): %v", doc.ID, err)
+				}
+				if name == "hits" && doc == f.docB {
+					continue // dominated component; prior ≈ 0 by design
+				}
+				if r.Entity != doc.Gold {
+					t.Errorf("doc %s linked to %d, want gold %d", doc.ID, r.Entity, doc.Gold)
+				}
+			}
+			// The backend's name round-trips through Parts.
+			if got := m.Parts().Centrality; got != name {
+				t.Errorf("Parts().Centrality = %q, want %q", got, name)
+			}
+		})
+	}
+}
+
+// TestFromPartsRejectsCentralityMismatch: an artifact's popularity
+// section must never be served under a different backend's name.
+func TestFromPartsRejectsCentralityMismatch(t *testing.T) {
+	f := newFixture(t)
+	m := newModel(t, f, func(c *Config) { c.Centrality = "degree" })
+	p := m.Parts()
+	if p.Centrality != "degree" {
+		t.Fatalf("Parts().Centrality = %q", p.Centrality)
+	}
+
+	// Same backend: reassembles fine.
+	if _, err := FromParts(p); err != nil {
+		t.Fatalf("FromParts(matching): %v", err)
+	}
+
+	// Mismatched config: rejected, error names both backends.
+	bad := p
+	bad.Config.Centrality = "hits"
+	_, err := FromParts(bad)
+	if err == nil {
+		t.Fatal("FromParts accepted degree popularity under a hits config")
+	}
+	if !strings.Contains(err.Error(), "degree") || !strings.Contains(err.Error(), "hits") {
+		t.Errorf("error %q does not name both backends", err)
+	}
+
+	// Pre-field artifacts (empty Centrality) load as pagerank only.
+	legacy := newModel(t, f, nil).Parts()
+	legacy.Centrality = ""
+	if _, err := FromParts(legacy); err != nil {
+		t.Errorf("FromParts(legacy empty centrality, pagerank config): %v", err)
+	}
+	legacy.Config.Centrality = "degree"
+	legacyPop := legacy
+	if _, err := FromParts(legacyPop); err != nil {
+		// Empty Centrality is accepted under any config — it predates
+		// the field, so there is nothing to enforce against.
+		t.Errorf("FromParts(legacy empty centrality, degree config): %v", err)
+	}
+}

@@ -9,7 +9,9 @@ package shine
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"strings"
 
 	"shine/internal/pagerank"
 	"shine/internal/surftrie"
@@ -51,8 +53,17 @@ type Config struct {
 	Eta float64
 	// Popularity selects the P(e) model.
 	Popularity PopularityMode
+	// Centrality names the pagerank.Centrality backend that computes
+	// the raw importance scores under PopularityPageRank mode —
+	// "pagerank" (the paper's Formula 6), "degree", "hits", or "ppr"
+	// (type-personalized PageRank). Empty selects "pagerank", which
+	// also keeps models and snapshots saved before the field existed
+	// loading unchanged. Ignored under PopularityUniform.
+	Centrality string
 	// PageRank configures the popularity computation (λ = 0.2 in the
-	// paper).
+	// paper). All centrality backends share these options: Tolerance
+	// and MaxIterations govern HITS's alternating sweeps too, while
+	// single-pass backends (degree) only validate them.
 	PageRank pagerank.Options
 
 	// LearningRate is the gradient ascent step α (Formula 23). The
@@ -131,6 +142,7 @@ func DefaultConfig() Config {
 		Theta:           0.2,
 		Eta:             1.0,
 		Popularity:      PopularityPageRank,
+		Centrality:      pagerank.DefaultCentrality,
 		PageRank:        pagerank.DefaultOptions(),
 		LearningRate:    0, // backtracking
 		MaxEMIterations: 20,
@@ -146,23 +158,41 @@ func DefaultConfig() Config {
 
 const metapathCacheDefault = 65536
 
-// Validate reports the first configuration problem, or nil.
+// CentralityName resolves the configured centrality backend,
+// defaulting the empty string to "pagerank" so configs decoded from
+// artifacts saved before the field existed keep their old behaviour.
+func (c Config) CentralityName() string {
+	if c.Centrality == "" {
+		return pagerank.DefaultCentrality
+	}
+	return c.Centrality
+}
+
+// Validate reports the first configuration problem, or nil. Every
+// float field is checked for NaN explicitly: NaN fails both halves of
+// a range test like `x <= 0 || x >= 1`, so without the explicit test a
+// NaN would sail through and poison downstream arithmetic.
 func (c Config) Validate() error {
 	switch {
-	case c.Theta <= 0 || c.Theta >= 1:
+	case math.IsNaN(c.Theta) || c.Theta <= 0 || c.Theta >= 1:
 		return fmt.Errorf("shine: theta %v outside (0, 1)", c.Theta)
-	case c.Eta <= 0 || c.Eta > 1:
+	case math.IsNaN(c.Eta) || c.Eta <= 0 || c.Eta > 1:
 		return fmt.Errorf("shine: eta %v outside (0, 1]", c.Eta)
 	case c.Popularity != PopularityPageRank && c.Popularity != PopularityUniform:
 		return fmt.Errorf("shine: unknown popularity mode %d", c.Popularity)
+	case c.Centrality != "" && !pagerank.ValidCentrality(c.Centrality):
+		return fmt.Errorf("shine: unknown centrality backend %q (have %s)",
+			c.Centrality, strings.Join(pagerank.CentralityNames(), ", "))
+	case math.IsNaN(c.LearningRate) || math.IsInf(c.LearningRate, 0):
+		return fmt.Errorf("shine: LearningRate %v is not finite", c.LearningRate)
 	case c.MaxEMIterations < 1:
 		return fmt.Errorf("shine: MaxEMIterations %d must be positive", c.MaxEMIterations)
 	case c.MaxGDIterations < 1:
 		return fmt.Errorf("shine: MaxGDIterations %d must be positive", c.MaxGDIterations)
-	case c.EMTolerance <= 0:
-		return fmt.Errorf("shine: EMTolerance %v must be positive", c.EMTolerance)
-	case c.GDTolerance <= 0:
-		return fmt.Errorf("shine: GDTolerance %v must be positive", c.GDTolerance)
+	case math.IsNaN(c.EMTolerance) || math.IsInf(c.EMTolerance, 0) || c.EMTolerance <= 0:
+		return fmt.Errorf("shine: EMTolerance %v must be positive and finite", c.EMTolerance)
+	case math.IsNaN(c.GDTolerance) || math.IsInf(c.GDTolerance, 0) || c.GDTolerance <= 0:
+		return fmt.Errorf("shine: GDTolerance %v must be positive and finite", c.GDTolerance)
 	case c.SGDBatch < 0:
 		return fmt.Errorf("shine: SGDBatch %d negative", c.SGDBatch)
 	case c.Workers < 1:
@@ -171,8 +201,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("shine: FuzzyDistance %d outside [0, %d]", c.FuzzyDistance, surftrie.MaxDistance)
 	case c.WalkPruning < 0:
 		return fmt.Errorf("shine: WalkPruning %d negative", c.WalkPruning)
-	case c.ProbFloor <= 0 || c.ProbFloor >= 1e-3:
+	case math.IsNaN(c.ProbFloor) || c.ProbFloor <= 0 || c.ProbFloor >= 1e-3:
 		return fmt.Errorf("shine: ProbFloor %v outside (0, 1e-3)", c.ProbFloor)
+	}
+	// The nested centrality options carry their own float fields;
+	// validate them here so a NaN λ fails at config time, not at the
+	// first popularity computation.
+	if err := c.PageRank.Validate(); err != nil {
+		return fmt.Errorf("shine: %w", err)
 	}
 	return nil
 }

@@ -1,10 +1,11 @@
 package shine
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"shine/internal/corpus"
 	"shine/internal/hin"
@@ -109,11 +110,11 @@ func (m *Model) ExplainPaths(doc *corpus.Document) ([]PathImportance, error) {
 			MarginDrop: baseMargin - margin,
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].MarginDrop != out[b].MarginDrop {
-			return out[a].MarginDrop > out[b].MarginDrop
+	slices.SortFunc(out, func(pa, pb PathImportance) int {
+		if pa.MarginDrop != pb.MarginDrop {
+			return cmp.Compare(pb.MarginDrop, pa.MarginDrop)
 		}
-		return out[a].Path < out[b].Path
+		return cmp.Compare(pa.Path, pb.Path)
 	})
 	return out, nil
 }
@@ -186,12 +187,11 @@ func (m *Model) ExplainContext(ctx context.Context, doc *corpus.Document) (Expla
 			LogOdds: float64(oc.Count) * (math.Log(pv(win)) - math.Log(pv(run))),
 		})
 	}
-	sort.Slice(ex.Objects, func(a, b int) bool {
-		oa, ob := ex.Objects[a], ex.Objects[b]
+	slices.SortFunc(ex.Objects, func(oa, ob ObjectContribution) int {
 		if math.Abs(oa.LogOdds) != math.Abs(ob.LogOdds) {
-			return math.Abs(oa.LogOdds) > math.Abs(ob.LogOdds)
+			return cmp.Compare(math.Abs(ob.LogOdds), math.Abs(oa.LogOdds))
 		}
-		return oa.Object < ob.Object
+		return cmp.Compare(oa.Object, ob.Object)
 	})
 	return ex, nil
 }

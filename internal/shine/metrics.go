@@ -54,6 +54,24 @@ const (
 	// cold-built model. Compare against shine_pagerank_iterations to
 	// see what the warm start saved.
 	MetricPageRankWarmIterations = "shine_pagerank_warm_iterations"
+	// MetricCentralityBackend is an info-style gauge: the series
+	// labelled with the serving model's centrality backend name
+	// (backend="pagerank"|"degree"|"hits"|"ppr") is set to 1.
+	MetricCentralityBackend = "shine_centrality_backend"
+	// MetricCentralitySeconds / MetricCentralityIterations mirror the
+	// shine_pagerank_* gauges for the configured centrality backend —
+	// the wall-clock and iteration count of the most recent offline
+	// popularity run, whichever backend produced it. The legacy
+	// shine_pagerank_* names keep reporting the same values for
+	// dashboard continuity.
+	MetricCentralitySeconds    = "shine_centrality_seconds"
+	MetricCentralityIterations = "shine_centrality_iterations"
+	// MetricCentralityColdRestarts counts incremental updates
+	// (Model.WithDelta) whose popularity refresh could not warm-start
+	// and ran cold instead — HITS always lands here (no warm
+	// formulation), as does any backend on a snapshot-restored model
+	// whose raw score vector was not persisted.
+	MetricCentralityColdRestarts = "shine_centrality_cold_restarts_total"
 	// MetricGraphBuildSeconds is the wall-clock of loading and
 	// building the immutable CSR graph, recorded by `shine serve` at
 	// startup.
@@ -117,6 +135,9 @@ type modelMetrics struct {
 	prSeconds      *obs.Gauge
 	prIterations   *obs.Gauge
 	prWarmIters    *obs.Gauge
+	cenSeconds     *obs.Gauge
+	cenIterations  *obs.Gauge
+	cenColdStarts  *obs.Counter
 	candLookups    *obs.Counter
 	candFuzzy      *obs.Counter
 	candSeconds    *obs.Histogram
@@ -156,6 +177,9 @@ func (m *Model) SetMetrics(reg *obs.Registry) {
 		prSeconds:      reg.Gauge(MetricPageRankSeconds),
 		prIterations:   reg.Gauge(MetricPageRankIterations),
 		prWarmIters:    reg.Gauge(MetricPageRankWarmIterations),
+		cenSeconds:     reg.Gauge(MetricCentralitySeconds),
+		cenIterations:  reg.Gauge(MetricCentralityIterations),
+		cenColdStarts:  reg.Counter(MetricCentralityColdRestarts),
 		candLookups:    reg.Counter(MetricCandidatesLookups),
 		candFuzzy:      reg.Counter(MetricCandidatesFuzzy),
 		candSeconds:    reg.Histogram(MetricCandidatesSeconds, nil),
@@ -163,10 +187,15 @@ func (m *Model) SetMetrics(reg *obs.Registry) {
 		streamInFlight: reg.Gauge(MetricStreamInFlight),
 		streamSeconds:  reg.Histogram(MetricStreamSeconds, nil),
 	}
-	// The offline PageRank ran during construction (or during the
-	// WithDelta that produced this generation), before any registry
-	// was attached; publish the recorded run so the gauges are correct
-	// from the first scrape. Rebind refreshes them.
+	// Identify the backend that produced this model's popularity
+	// section; under the uniform model no centrality ran at all.
+	if m.cfg.Popularity != PopularityUniform {
+		reg.Gauge(MetricCentralityBackend, "backend", m.cfg.CentralityName()).Set(1)
+	}
+	// The offline centrality run happened during construction (or
+	// during the WithDelta that produced this generation), before any
+	// registry was attached; publish the recorded run so the gauges are
+	// correct from the first scrape. Rebind refreshes them.
 	m.metrics.observePageRank(m.prSeconds, m.prIterations, m.prWarmIterations)
 }
 
@@ -185,8 +214,10 @@ func (m *Model) UnregisterCollectors(reg *obs.Registry) {
 	reg.Unregister(&m.mixtures)
 }
 
-// observePageRank publishes the most recent offline PageRank run and
-// the warm-refresh sweep count. Safe on a nil receiver.
+// observePageRank publishes the most recent offline centrality run and
+// the warm-refresh sweep count, under both the legacy shine_pagerank_*
+// names and the backend-neutral shine_centrality_* ones. Safe on a nil
+// receiver.
 func (mm *modelMetrics) observePageRank(seconds float64, iterations, warmIterations int) {
 	if mm == nil {
 		return
@@ -194,6 +225,18 @@ func (mm *modelMetrics) observePageRank(seconds float64, iterations, warmIterati
 	mm.prSeconds.Set(seconds)
 	mm.prIterations.Set(float64(iterations))
 	mm.prWarmIters.Set(float64(warmIterations))
+	mm.cenSeconds.Set(seconds)
+	mm.cenIterations.Set(float64(iterations))
+}
+
+// observeCentralityColdRestart counts one incremental update whose
+// popularity refresh ran cold (see UpdateStats.ColdPopularity). Safe
+// on a nil receiver.
+func (mm *modelMetrics) observeCentralityColdRestart() {
+	if mm == nil {
+		return
+	}
+	mm.cenColdStarts.Inc()
 }
 
 // observeLink records the outcome of one link call. Safe on a nil

@@ -1,11 +1,12 @@
 package shine
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -52,10 +53,11 @@ type Model struct {
 	mixtures mixtureIndex
 
 	popularity map[hin.ObjectID]float64
-	// prScores is the raw whole-network PageRank vector behind
-	// popularity (nil under PopularityUniform). WithDelta warm-starts
-	// pagerank.Refine from it, so an incremental update re-converges
-	// in a handful of sweeps instead of a cold power iteration.
+	// prScores is the raw whole-network centrality vector behind
+	// popularity (nil under PopularityUniform), produced by the
+	// cfg.Centrality backend. WithDelta warm-starts the backend's
+	// Refine from it where supported, so an incremental update
+	// re-converges in a handful of sweeps instead of a cold run.
 	prScores []float64
 	// prSeconds/prIterations record the most recent offline PageRank
 	// run (zero under PopularityUniform); published as gauges by
@@ -137,25 +139,32 @@ func New(g *hin.Graph, entityType hin.TypeID, paths []metapath.Path, docs *corpu
 }
 
 // computePopularity runs the configured offline popularity model over
-// g: uniform (Formula 5), or whole-network PageRank normalised over
-// the entity set (Formulas 6–7). The PageRank kernel inherits
+// g: uniform (Formula 5), or the configured centrality backend
+// normalised over the entity set (Formulas 6–7 with "pagerank", the
+// paper's choice and the default; see pagerank.NewCentrality for
+// "degree", "hits" and "ppr"). The centrality kernel inherits
 // cfg.Workers when cfg.PageRank.Workers is unset, so `-workers`
 // bounds the whole offline pipeline, not just EM; any worker count
 // produces bit-identical scores. Returns the popularity map, the raw
 // score vector (nil in uniform mode; WithDelta warm-starts from it),
-// plus the PageRank wall-clock seconds and iteration count (both zero
-// in uniform mode) for the shine_pagerank_* gauges.
+// plus the centrality wall-clock seconds and iteration count (both
+// zero in uniform mode) for the shine_pagerank_*/shine_centrality_*
+// gauges.
 func computePopularity(g *hin.Graph, entityType hin.TypeID, cfg Config) (map[hin.ObjectID]float64, []float64, float64, int, error) {
 	if cfg.Popularity == PopularityUniform {
 		p, err := pagerank.UniformPopularity(g, entityType)
 		return p, nil, 0, 0, err
+	}
+	cen, err := pagerank.NewCentrality(cfg.CentralityName(), entityType)
+	if err != nil {
+		return nil, nil, 0, 0, fmt.Errorf("shine: computing popularity: %w", err)
 	}
 	prOpts := cfg.PageRank
 	if prOpts.Workers == 0 {
 		prOpts.Workers = cfg.Workers
 	}
 	start := time.Now()
-	res, err := pagerank.Compute(g, prOpts)
+	res, err := cen.Compute(g, prOpts)
 	if err != nil {
 		return nil, nil, 0, 0, fmt.Errorf("shine: computing popularity: %w", err)
 	}
@@ -382,12 +391,11 @@ func (m *Model) link(ctx context.Context, doc *corpus.Document) (Result, error) 
 	for i, e := range cands {
 		res.Candidates[i] = CandidateScore{Entity: e, LogJoint: logs[i], Posterior: post[i]}
 	}
-	sort.Slice(res.Candidates, func(a, b int) bool {
-		ca, cb := res.Candidates[a], res.Candidates[b]
+	slices.SortFunc(res.Candidates, func(ca, cb CandidateScore) int {
 		if ca.Posterior != cb.Posterior {
-			return ca.Posterior > cb.Posterior
+			return cmp.Compare(cb.Posterior, ca.Posterior)
 		}
-		return ca.Entity < cb.Entity
+		return cmp.Compare(ca.Entity, cb.Entity)
 	})
 	res.Entity = res.Candidates[0].Entity
 	return res, nil

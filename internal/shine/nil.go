@@ -1,10 +1,11 @@
 package shine
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"shine/internal/corpus"
@@ -67,7 +68,11 @@ func (m *Model) LinkNILContext(ctx context.Context, doc *corpus.Document, nilPri
 }
 
 func (m *Model) linkNIL(ctx context.Context, doc *corpus.Document, nilPrior float64) (Result, error) {
-	if nilPrior <= 0 || nilPrior >= 1 {
+	// The NaN test must be explicit: NaN <= 0 and NaN >= 1 are both
+	// false, so a NaN prior would pass the range check and then
+	// propagate through log(1−π) into every candidate's posterior.
+	// ±Inf is caught by the range comparisons.
+	if math.IsNaN(nilPrior) || nilPrior <= 0 || nilPrior >= 1 {
 		return Result{}, fmt.Errorf("shine: NIL prior %v outside (0, 1)", nilPrior)
 	}
 	cands := m.lookupCandidates(doc.Mention)
@@ -113,12 +118,11 @@ func (m *Model) linkNIL(ctx context.Context, doc *corpus.Document, nilPrior floa
 		LogJoint:  logs[len(cands)],
 		Posterior: post[len(cands)],
 	}
-	sort.Slice(res.Candidates, func(a, b int) bool {
-		ca, cb := res.Candidates[a], res.Candidates[b]
+	slices.SortFunc(res.Candidates, func(ca, cb CandidateScore) int {
 		if ca.Posterior != cb.Posterior {
-			return ca.Posterior > cb.Posterior
+			return cmp.Compare(cb.Posterior, ca.Posterior)
 		}
-		return ca.Entity < cb.Entity
+		return cmp.Compare(ca.Entity, cb.Entity)
 	})
 	res.Entity = res.Candidates[0].Entity
 	return res, nil

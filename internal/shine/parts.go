@@ -30,11 +30,19 @@ type Parts struct {
 	// Link scores are bit-identical.
 	Weights []float64
 	// Popularity is P(e) densely indexed by position in
-	// Graph.ObjectsOfType(EntityType) — the paper's offline PageRank
-	// result (Formula 6), restored instead of recomputed.
+	// Graph.ObjectsOfType(EntityType) — the offline centrality result
+	// (Formula 6 under the default "pagerank" backend), restored
+	// instead of recomputed.
 	Popularity   []float64
 	PRSeconds    float64
 	PRIterations int
+	// Centrality names the pagerank.Centrality backend that produced
+	// Popularity. FromParts refuses a Parts whose Centrality disagrees
+	// with Config.CentralityName(), so an artifact's popularity section
+	// is never silently served under a different backend's name. Empty
+	// means "recorded before the field existed", which is accepted and
+	// treated as the then-only backend, "pagerank".
+	Centrality string
 	// Generic is the corpus-wide object model Pg.
 	Generic sparse.Vector
 	// Mixtures is the frozen per-candidate mixture index, sorted by
@@ -73,6 +81,7 @@ func (m *Model) Parts() Parts {
 		Popularity:   pop,
 		PRSeconds:    m.prSeconds,
 		PRIterations: m.prIterations,
+		Centrality:   m.cfg.CentralityName(),
 		Generic:      m.generic.Vector(),
 		Mixtures:     m.mixtures.snapshotEntries(ver),
 		Trie:         m.trie,
@@ -96,6 +105,10 @@ func FromParts(p Parts) (*Model, error) {
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if p.Centrality != "" && p.Centrality != cfg.CentralityName() {
+		return nil, fmt.Errorf("shine: FromParts: popularity was computed by centrality backend %q but the config selects %q; rebuild the artifact instead of mixing backends",
+			p.Centrality, cfg.CentralityName())
 	}
 	if len(p.Paths) == 0 {
 		return nil, errors.New("shine: FromParts: empty meta-path set")

@@ -33,6 +33,14 @@ type UpdateStats struct {
 	PageRankSeconds float64
 	WarmIterations  int
 	WarmPushes      int
+	// ColdPopularity records that the popularity refresh ran cold
+	// instead of warm-starting from the previous revision's scores —
+	// either the centrality backend cannot warm-start (HITS: its
+	// L2-normalised alternating sweeps have no warm/push formulation),
+	// or the model had no score vector to start from (snapshot-restored
+	// models persist only the densified popularity). Also counted by
+	// the shine_centrality_cold_restarts_total metric.
+	ColdPopularity bool
 	// MixturesKept/Dropped and WalkEntriesKept/Dropped count the
 	// frozen-mixture and walk-cache entries that survived per-entity
 	// invalidation versus the ones inside the ball.
@@ -130,18 +138,25 @@ func (m *Model) WithDelta(d *hin.Delta) (*Model, UpdateStats, error) {
 		}
 		nm.popularity = pop
 	} else {
+		cen, err := pagerank.NewCentrality(m.cfg.CentralityName(), m.entityType)
+		if err != nil {
+			return nil, stats, fmt.Errorf("shine: refreshing popularity: %w", err)
+		}
 		prOpts := m.cfg.PageRank
 		if prOpts.Workers == 0 {
 			prOpts.Workers = m.cfg.Workers
 		}
 		start := time.Now()
 		var res *pagerank.Result
-		if len(m.prScores) > 0 {
-			res, err = pagerank.Refine(g2, prOpts, m.prScores)
+		if wc, ok := cen.(pagerank.WarmCentrality); ok && len(m.prScores) > 0 {
+			res, err = wc.Refine(g2, prOpts, m.prScores)
 		} else {
-			// No scores to warm-start from (e.g. a snapshot-restored
-			// model); fall back to a cold run.
-			res, err = pagerank.Compute(g2, prOpts)
+			// Either the backend cannot warm-start (HITS), or there are
+			// no scores to start from (e.g. a snapshot-restored model);
+			// fall back to a cold run and record it.
+			stats.ColdPopularity = true
+			m.metrics.observeCentralityColdRestart()
+			res, err = cen.Compute(g2, prOpts)
 		}
 		if err != nil {
 			return nil, stats, fmt.Errorf("shine: refreshing popularity: %w", err)

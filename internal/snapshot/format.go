@@ -108,11 +108,16 @@ type Info struct {
 	// TrieNodes is the node count of the surface-form candidate trie;
 	// 0 for version-1 artifacts, which carry no trie section.
 	TrieNodes int `json:"trieNodes"`
+	// Centrality is the backend that produced the artifact's
+	// popularity section ("pagerank" for artifacts written before the
+	// field existed). Loading enforces it against the serving config,
+	// so operators can trust the reported name.
+	Centrality string `json:"centrality"`
 }
 
 func (i Info) String() string {
-	return fmt.Sprintf("snapshot v%d checksum=%s bytes=%d entityType=%s objects=%d links=%d entities=%d paths=%d mixtures=%d genericSupport=%d trieNodes=%d",
-		i.FormatVersion, i.Checksum, i.Bytes, i.EntityType, i.Objects, i.Links, i.Entities, i.Paths, i.MixtureEntries, i.GenericSupport, i.TrieNodes)
+	return fmt.Sprintf("snapshot v%d checksum=%s bytes=%d entityType=%s objects=%d links=%d entities=%d paths=%d mixtures=%d genericSupport=%d trieNodes=%d centrality=%s",
+		i.FormatVersion, i.Checksum, i.Bytes, i.EntityType, i.Objects, i.Links, i.Entities, i.Paths, i.MixtureEntries, i.GenericSupport, i.TrieNodes, i.Centrality)
 }
 
 // metaSection is the JSON payload of section 1: everything small and
@@ -125,6 +130,12 @@ type metaSection struct {
 	PRIterations int        `json:"prIterations"`
 	Types        []typeMeta `json:"types"`
 	Relations    []relMeta  `json:"relations"`
+	// Centrality records which pagerank.Centrality backend produced
+	// the popularity section. Absent from artifacts written before the
+	// field existed; it then decodes to "", which readers treat as
+	// "pagerank" — the only backend that existed when those artifacts
+	// were written.
+	Centrality string `json:"centrality,omitempty"`
 }
 
 type typeMeta struct {

@@ -410,6 +410,7 @@ func ReadBytes(data []byte) (*Snapshot, error) {
 		Popularity:   popularity,
 		PRSeconds:    meta.PRSeconds,
 		PRIterations: meta.PRIterations,
+		Centrality:   meta.Centrality,
 		Generic:      gdist.Thaw(),
 		Mixtures:     mixtures,
 		Trie:         trie,

@@ -28,7 +28,9 @@ func Encode(p shine.Parts) ([]byte, error) {
 
 // normalizeParts fills the derivable pieces Encode needs that a
 // hand-assembled Parts may omit: a nil Trie is built from the graph
-// (deterministically, so the artifact bytes stay reproducible).
+// (deterministically, so the artifact bytes stay reproducible), and an
+// empty Centrality is resolved from the config so every artifact this
+// build writes records its popularity backend.
 func normalizeParts(p shine.Parts) (shine.Parts, error) {
 	if p.Trie == nil {
 		if p.Graph == nil {
@@ -39,6 +41,9 @@ func normalizeParts(p shine.Parts) (shine.Parts, error) {
 			return p, fmt.Errorf("snapshot: building surface trie: %w", err)
 		}
 		p.Trie = t
+	}
+	if p.Centrality == "" {
+		p.Centrality = p.Config.CentralityName()
 	}
 	return p, nil
 }
@@ -59,6 +64,7 @@ func encodeParts(p shine.Parts) ([]byte, error) {
 		EntityType:   schema.Type(p.EntityType).Name,
 		PRSeconds:    p.PRSeconds,
 		PRIterations: p.PRIterations,
+		Centrality:   p.Centrality,
 	}
 	for _, path := range p.Paths {
 		meta.Paths = append(meta.Paths, path.String())
@@ -281,6 +287,12 @@ func infoFor(data []byte, p shine.Parts) Info {
 	if p.Trie != nil {
 		trieNodes = p.Trie.Stats().Nodes
 	}
+	// Old artifacts carry no backend name; "pagerank" was the only
+	// backend when they were written.
+	centrality := p.Centrality
+	if centrality == "" {
+		centrality = p.Config.CentralityName()
+	}
 	return Info{
 		FormatVersion:  le.Uint32(data[8:]),
 		Checksum:       fmt.Sprintf("%08x", crc32.ChecksumIEEE(data)),
@@ -294,5 +306,6 @@ func infoFor(data []byte, p shine.Parts) Info {
 		Paths:          len(p.Paths),
 		MixtureEntries: len(p.Mixtures),
 		GenericSupport: p.Generic.Len(),
+		Centrality:     centrality,
 	}
 }

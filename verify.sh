@@ -8,11 +8,15 @@ go build ./...
 go vet ./...
 go test -race ./...
 # Smoke the serving-path, offline-pipeline, snapshot, candidate-index,
-# streaming and incremental-update benchmarks (one iteration each) so
-# they cannot rot between perf PRs; real numbers live in
-# BENCH_link.json, BENCH_offline.json, BENCH_snapshot.json,
-# BENCH_candidates.json, BENCH_stream.json and BENCH_incremental.json.
-go test -run=NONE -bench='Link|PageRank|Build|Snapshot|Candidates|Stream|Delta|WarmStart' -benchtime=1x .
+# streaming, incremental-update and centrality-backend benchmarks (one
+# iteration each) so they cannot rot between perf PRs; real numbers
+# live in BENCH_link.json, BENCH_offline.json, BENCH_snapshot.json,
+# BENCH_candidates.json, BENCH_stream.json, BENCH_incremental.json and
+# BENCH_centrality.json.
+go test -run=NONE -bench='Link|PageRank|Build|Snapshot|Candidates|Stream|Delta|WarmStart|Centrality' -benchtime=1x .
+# Centrality-backend contract: the four-backend comparison harness
+# (McNemar against the pagerank baseline) must keep its shape.
+go test -run TestCentralityComparisonShape ./internal/experiments/
 # Route/metrics contract guard: every /v1 route answers wrong methods
 # with 405 + Allow, and the request-lifecycle series are present in
 # the /metrics exposition from the first scrape.
@@ -30,14 +34,25 @@ go test -fuzz=FuzzTrieLookup -fuzztime=5s -run=FuzzTrieLookup ./internal/surftri
 go test -fuzz=FuzzNDJSONLine -fuzztime=5s -run=FuzzNDJSONLine ./internal/server/
 go test -fuzz=FuzzDeltaPatch -fuzztime=5s -run=FuzzDeltaPatch ./internal/server/
 # Snapshot CLI round trip: build an artifact from a generated dataset,
-# inspect it, and link from it — the binary boot path end to end.
+# inspect it, and link from it — the binary boot path end to end. Runs
+# once per popularity backend: inspect must report the backend that
+# built the artifact, and link must serve from it.
 SNAPTMP=$(mktemp -d)
 trap 'rm -rf "$SNAPTMP"' EXIT
 go build -o "$SNAPTMP/shine" ./cmd/shine
 "$SNAPTMP/shine" gen -graph "$SNAPTMP/g.hin" -docs "$SNAPTMP/d.json" -seed 7 -authors 40 -numdocs 20
-"$SNAPTMP/shine" snapshot build -graph "$SNAPTMP/g.hin" -docs "$SNAPTMP/d.json" -out "$SNAPTMP/m.snap"
-"$SNAPTMP/shine" snapshot inspect "$SNAPTMP/m.snap"
-"$SNAPTMP/shine" link -snapshot "$SNAPTMP/m.snap" -docs "$SNAPTMP/d.json" | tail -1
+for BACKEND in pagerank degree hits ppr; do
+  "$SNAPTMP/shine" snapshot build -graph "$SNAPTMP/g.hin" -docs "$SNAPTMP/d.json" \
+    -popularity "$BACKEND" -out "$SNAPTMP/m-$BACKEND.snap"
+  "$SNAPTMP/shine" snapshot inspect "$SNAPTMP/m-$BACKEND.snap" | grep "centrality=$BACKEND"
+  "$SNAPTMP/shine" link -snapshot "$SNAPTMP/m-$BACKEND.snap" -popularity "$BACKEND" \
+    -docs "$SNAPTMP/d.json" | tail -1
+done
+# A backend mismatch between artifact and flags must refuse to serve.
+if "$SNAPTMP/shine" link -snapshot "$SNAPTMP/m-degree.snap" -popularity hits -docs "$SNAPTMP/d.json"; then
+  echo "mismatched -popularity accepted" >&2; exit 1
+fi
+ln -s "$SNAPTMP/m-pagerank.snap" "$SNAPTMP/m.snap"
 # Loadgen smoke: boot a server from the artifact and push the same
 # synthetic documents through /v1/link and the /v1/link/batch NDJSON
 # stream over real HTTP. -max-failures 0 makes any unlinked document,
